@@ -1,0 +1,129 @@
+package repro_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	s := repro.PaperSpec()
+	rng := rand.New(rand.NewSource(1))
+	r, truth := repro.GenerateRun(s, rng, 500)
+	l, err := repro.LabelRun(r, repro.TCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against search on the raw graph for sampled pairs.
+	for q := 0; q < 2000; q++ {
+		u := repro.VertexID(rng.Intn(r.NumVertices()))
+		v := repro.VertexID(rng.Intn(r.NumVertices()))
+		if l.Reachable(u, v) != r.Graph.ReachableBFS(u, v) {
+			t.Fatalf("mismatch at (%d,%d)", u, v)
+		}
+	}
+	// Plan reconstruction and plan-given labeling agree.
+	p, err := repro.ConstructPlan(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skel, err := repro.BFS.Build(s.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := repro.LabelWithPlan(r, p, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := repro.LabelWithPlan(r, truth, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 500; q++ {
+		u := repro.VertexID(rng.Intn(r.NumVertices()))
+		v := repro.VertexID(rng.Intn(r.NumVertices()))
+		if lp.Reachable(u, v) != lt.Reachable(u, v) {
+			t.Fatal("plan-given labelings disagree")
+		}
+	}
+}
+
+func TestFacadeMinimalRunAndSchemes(t *testing.T) {
+	s := repro.PaperSpec()
+	r, _ := repro.MinimalRun(s)
+	if r.NumVertices() != s.NumVertices() {
+		t.Fatal("minimal run shape wrong")
+	}
+	if len(repro.SpecSchemes()) != 7 {
+		t.Fatal("expected 7 schemes")
+	}
+	for _, name := range []string{"TCM", "BFS", "DFS", "Interval", "Chain", "2-Hop", "Dual"} {
+		if _, err := repro.SpecSchemeByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeDataAndXML(t *testing.T) {
+	s := repro.PaperSpec()
+	rng := rand.New(rand.NewSource(2))
+	r, _ := repro.GenerateRun(s, rng, 200)
+	ann := repro.RandomData(r, rng, 1.5, 0.5)
+	l, err := repro.LabelRun(r, repro.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := repro.LabelData(ann, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.NumItems() == 0 {
+		t.Fatal("no data items")
+	}
+	var specBuf, runBuf bytes.Buffer
+	if err := repro.WriteSpecXML(&specBuf, s, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	s2, name, err := repro.ReadSpecXML(&specBuf)
+	if err != nil || name != "paper" {
+		t.Fatalf("spec xml: %v", err)
+	}
+	if err := repro.WriteRunXML(&runBuf, r, ann, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	r2, ann2, err := repro.ReadRunXML(&runBuf, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NumVertices() != r.NumVertices() || ann2 == nil || len(ann2.Items) != len(ann.Items) {
+		t.Fatal("run xml round trip lost data")
+	}
+}
+
+func TestFacadeSynthesizeAndOnline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := repro.SynthesizeSpec(rng, 40, 60, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVertices() != 40 || s.NumEdges() != 60 {
+		t.Fatal("synthesis parameters not met")
+	}
+	qb, err := repro.StandInSpec("QBLAST", 1)
+	if err != nil || qb.NumVertices() != 58 {
+		t.Fatalf("QBLAST stand-in: %v", err)
+	}
+	skel, err := repro.TCM.Build(qb.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol := repro.NewOnline(qb, skel)
+	if ol.NumVertices() != 0 {
+		t.Fatal("fresh online labeler should be empty")
+	}
+	if _, err := ol.AddExec(ol.Root(), qb.Source); err != nil {
+		t.Fatal(err)
+	}
+}

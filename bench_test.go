@@ -1,0 +1,274 @@
+// Benchmarks mirroring the paper's evaluation, one per table/figure (see
+// DESIGN.md's per-experiment index). The provbench command produces the
+// full sweeps; these testing.B benches exercise each measurement kernel
+// at a representative size so `go test -bench=.` validates every code
+// path and reports per-operation costs.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// benchRun builds a deterministic run of roughly the given size over the
+// QBLAST stand-in.
+func benchRun(b *testing.B, target int) *repro.Run {
+	b.Helper()
+	s, err := repro.StandInSpec("QBLAST", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, _ := repro.GenerateRun(s, rand.New(rand.NewSource(int64(target))), target)
+	return r
+}
+
+// BenchmarkTable1SpecLabel labels each of the six Table-1 specifications
+// with every skeleton scheme (Table 1 + Section 7).
+func BenchmarkTable1SpecLabel(b *testing.B) {
+	for _, name := range []string{"EBI", "PubMed", "QBLAST", "BioAID", "ProScan", "ProDisc"} {
+		s, err := repro.StandInSpec(name, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.TCM.Build(s.Graph); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12LabelLength measures the full labeling pipeline whose
+// output Figure 12 reports (label bits are reported as metrics).
+func BenchmarkFig12LabelLength(b *testing.B) {
+	r := benchRun(b, 10_000)
+	skel, err := repro.TCM.Build(r.Spec.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxBits int
+	var avgBits float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := repro.LabelWithSkeleton(r, skel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxBits = l.MaxLabelBits()
+		avgBits = l.AvgLabelBits()
+	}
+	b.ReportMetric(float64(maxBits), "maxbits")
+	b.ReportMetric(avgBits, "avgbits")
+}
+
+// BenchmarkFig13Construction measures construction time in both settings
+// of Figure 13, across run sizes (linear scaling).
+func BenchmarkFig13Construction(b *testing.B) {
+	s, err := repro.StandInSpec("QBLAST", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skel, err := repro.TCM.Build(s.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1000, 4000, 16000} {
+		r, truth := repro.GenerateRun(s, rand.New(rand.NewSource(int64(size))), size)
+		b.Run(fmt.Sprintf("default/n=%d", r.NumVertices()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.LabelWithSkeleton(r, skel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("withplan/n=%d", r.NumVertices()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.LabelWithPlan(r, truth, skel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14Query measures TCM+SKL query time (constant in run size).
+func BenchmarkFig14Query(b *testing.B) {
+	for _, size := range []int{1000, 16000} {
+		r := benchRun(b, size)
+		l, err := repro.LabelRun(r, repro.TCM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := r.NumVertices()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				u := repro.VertexID(i % n)
+				v := repro.VertexID((i * 31) % n)
+				benchSink = l.Reachable(u, v)
+			}
+		})
+	}
+}
+
+var benchSink bool
+
+// BenchmarkFig16TCMDirect measures the polynomial cost of applying TCM
+// directly to the run — the approach the paper shows does not scale.
+func BenchmarkFig16TCMDirect(b *testing.B) {
+	r := benchRun(b, 4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Graph.TransitiveClosure(); !ok {
+			b.Fatal("cyclic run")
+		}
+	}
+}
+
+// BenchmarkFig17Query compares the four schemes of Figure 17 at one size.
+func BenchmarkFig17Query(b *testing.B) {
+	r := benchRun(b, 8000)
+	n := r.NumVertices()
+	lt, err := repro.LabelRun(r, repro.TCM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb, err := repro.LabelRun(r, repro.BFS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	closure, _ := r.Graph.TransitiveClosure()
+	b.Run("TCM+SKL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = lt.Reachable(repro.VertexID(i%n), repro.VertexID((i*31)%n))
+		}
+	})
+	b.Run("BFS+SKL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = lb.Reachable(repro.VertexID(i%n), repro.VertexID((i*31)%n))
+		}
+	})
+	b.Run("TCM-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = closure.Reachable(repro.VertexID(i%n), repro.VertexID((i*31)%n))
+		}
+	})
+	b.Run("BFS-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = r.Graph.ReachableBFS(repro.VertexID(i%n), repro.VertexID((i*31)%n))
+		}
+	})
+}
+
+// BenchmarkFig20QueryBySpecSize measures BFS+SKL query cost against the
+// specification size (Figures 18-20's sweep).
+func BenchmarkFig20QueryBySpecSize(b *testing.B) {
+	for i, nG := range []int{50, 100, 200} {
+		s, err := repro.SynthesizeSpec(rand.New(rand.NewSource(int64(i))), nG, 2*nG, 10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, _ := repro.GenerateRun(s, rand.New(rand.NewSource(9)), 8000)
+		l, err := repro.LabelRun(r, repro.BFS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := r.NumVertices()
+		b.Run(fmt.Sprintf("nG=%d", nG), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = l.Reachable(repro.VertexID(i%n), repro.VertexID((i*31)%n))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSpecSchemes queries under every skeleton scheme (A1).
+func BenchmarkAblationSpecSchemes(b *testing.B) {
+	r := benchRun(b, 8000)
+	n := r.NumVertices()
+	for _, scheme := range repro.SpecSchemes() {
+		l, err := repro.LabelRun(r, scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%T", scheme), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = l.Reachable(repro.VertexID(i%n), repro.VertexID((i*31)%n))
+			}
+		})
+	}
+}
+
+// BenchmarkDataProvenance measures Section 6 data-dependency queries.
+func BenchmarkDataProvenance(b *testing.B) {
+	r := benchRun(b, 8000)
+	rng := rand.New(rand.NewSource(3))
+	ann := repro.RandomData(r, rng, 1.3, 0.4)
+	l, err := repro.LabelRun(r, repro.TCM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dl, err := repro.LabelData(ann, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := dl.NumItems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = dl.DependsOn(repro.DataItemID(i%k), repro.DataItemID((i*31)%k))
+	}
+}
+
+// BenchmarkOnlineAppend measures Section 9 incremental labeling: one
+// fork-copy start plus one module execution per op.
+func BenchmarkOnlineAppend(b *testing.B) {
+	s := repro.PaperSpec()
+	skel, err := repro.TCM.Build(s.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := repro.NewOnline(s, skel)
+	root := l.Root()
+	var l2 int
+	for i, sub := range s.Subgraphs {
+		if sub.Kind.String() == "loop" && s.NameOf(sub.Source) == "e" {
+			l2 = i + 1
+		}
+	}
+	eOrig, _ := s.VertexOf("e")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := l.StartCopy(root, l2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.AddExec(c, eOrig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstructPlan isolates the Section 5 plan-extraction kernel.
+func BenchmarkConstructPlan(b *testing.B) {
+	for _, size := range []int{1000, 16000} {
+		r := benchRun(b, size)
+		b.Run(fmt.Sprintf("n=%d", r.NumVertices()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.ConstructPlan(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Command provbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	provbench -exp all                       # everything, paper-scale
+//	provbench -exp fig17 -quick              # one figure, reduced scale
+//	provbench -exp table1,fig12 -csv out/    # write CSV files too
+//	provbench -list                          # list experiment names
+//
+// Paper-scale sweeps run 0.1K..102.4K-vertex runs with 10⁶ queries per
+// point and can take several minutes per figure; -quick reduces both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		listFlag  = flag.Bool("list", false, "list available experiments and exit")
+		quickFlag = flag.Bool("quick", false, "reduced sizes and query counts")
+		seedFlag  = flag.Int64("seed", 1, "random seed")
+		sizesFlag = flag.String("sizes", "", "comma-separated run sizes (overrides defaults)")
+		queryFlag = flag.Int("queries", 0, "queries per measurement point (default 1e6, quick 2e4)")
+		csvFlag   = flag.String("csv", "", "directory to also write one CSV per experiment")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments.All() {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seedFlag, Quick: *quickFlag, Queries: *queryFlag}
+	if *sizesFlag != "" {
+		for _, part := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 2 {
+				fatalf("invalid size %q", part)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+
+	var selected []experiments.Experiment
+	if *expFlag == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*expFlag, ",") {
+			e, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatalf("%v (use -list)", err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvFlag != "" {
+		if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+			fatalf("create csv dir: %v", err)
+		}
+	}
+
+	for _, e := range selected {
+		res, err := e.Run(cfg)
+		if err != nil {
+			fatalf("%s: %v", e.Name, err)
+		}
+		if err := res.WriteText(os.Stdout); err != nil {
+			fatalf("write: %v", err)
+		}
+		if *csvFlag != "" {
+			path := filepath.Join(*csvFlag, e.Name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("create %s: %v", path, err)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				f.Close()
+				fatalf("write %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", path, err)
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "provbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command provdot renders workflow artifacts as Graphviz DOT: the
+// specification with its fork clusters and loop back-edges, a run with
+// vertices colored by fork/loop context, or a run's execution plan tree.
+//
+// Usage:
+//
+//	provdot -spec s.xml > spec.dot
+//	provdot -spec s.xml -run r.xml -what run > run.dot
+//	provdot -spec s.xml -run r.xml -what plan | dot -Tsvg > plan.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "specification XML (required)")
+		runPath  = flag.String("run", "", "run XML (required for -what run/plan)")
+		what     = flag.String("what", "spec", "what to render: spec, run, or plan")
+		name     = flag.String("name", "", "graph name in the DOT output")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fatalf("-spec is required")
+	}
+	sf, err := os.Open(*specPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	s, specName, err := repro.ReadSpecXML(sf)
+	sf.Close()
+	if err != nil {
+		fatalf("spec: %v", err)
+	}
+	if *name == "" {
+		*name = specName
+	}
+
+	switch *what {
+	case "spec":
+		if err := repro.WriteSpecDOT(os.Stdout, s, *name); err != nil {
+			fatalf("%v", err)
+		}
+	case "run", "plan":
+		if *runPath == "" {
+			fatalf("-run is required for -what %s", *what)
+		}
+		rf, err := os.Open(*runPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		r, _, err := repro.ReadRunXML(rf, s)
+		rf.Close()
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		p, err := repro.ConstructPlan(r)
+		if err != nil {
+			fatalf("plan: %v", err)
+		}
+		if *what == "run" {
+			err = repro.WriteRunDOT(os.Stdout, r, p, *name)
+		} else {
+			err = repro.WritePlanDOT(os.Stdout, p, *name)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("unknown -what %q (spec, run, plan)", *what)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "provdot: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command provgen generates workflow specifications and runs as XML.
+//
+// Usage:
+//
+//	provgen -standin QBLAST -spec qblast.xml
+//	provgen -ng 100 -mg 200 -tgsize 10 -tgdepth 4 -spec s.xml
+//	provgen -standin QBLAST -spec s.xml -run r.xml -size 10000 -data
+//	provgen -paper -spec paper.xml -run run.xml -size 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		standin = flag.String("standin", "", "synthesize a Table-1 workflow by name (EBI, PubMed, QBLAST, BioAID, ProScan, ProDisc)")
+		paper   = flag.Bool("paper", false, "use the paper's Figure-2 running example")
+		ng      = flag.Int("ng", 0, "synthetic spec: number of vertices")
+		mg      = flag.Int("mg", 0, "synthetic spec: number of edges")
+		tgsize  = flag.Int("tgsize", 1, "synthetic spec: |TG| (forks+loops+1)")
+		tgdepth = flag.Int("tgdepth", 1, "synthetic spec: [TG] (hierarchy depth)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		specOut = flag.String("spec", "", "write the specification XML here")
+		runOut  = flag.String("run", "", "also generate a run and write its XML here")
+		size    = flag.Int("size", 1000, "target run size in vertices")
+		data    = flag.Bool("data", false, "annotate the run with synthetic data items")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var s *repro.Spec
+	var name string
+	var err error
+	switch {
+	case *paper:
+		s, name = repro.PaperSpec(), "paper-figure2"
+	case *standin != "":
+		s, err = repro.StandInSpec(*standin, *seed)
+		name = *standin
+	case *ng > 0:
+		s, err = repro.SynthesizeSpec(rng, *ng, *mg, *tgsize, *tgdepth)
+		name = fmt.Sprintf("synthetic-%d-%d-%d-%d", *ng, *mg, *tgsize, *tgdepth)
+	default:
+		fatalf("choose -paper, -standin NAME, or -ng/-mg/-tgsize/-tgdepth")
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *specOut != "" {
+		writeTo(*specOut, func(f *os.File) error { return repro.WriteSpecXML(f, s, name) })
+		fmt.Printf("wrote specification %s (nG=%d mG=%d |TG|=%d [TG]=%d) to %s\n",
+			name, s.NumVertices(), s.NumEdges(), s.Hier.NumNodes(), s.Hier.MaxDepth, *specOut)
+	}
+
+	if *runOut != "" {
+		r, _ := repro.GenerateRun(s, rng, *size)
+		var ann *repro.DataAnnotation
+		if *data {
+			ann = repro.RandomData(r, rng, 1.5, 0.3)
+		}
+		writeTo(*runOut, func(f *os.File) error { return repro.WriteRunXML(f, r, ann, name) })
+		items := 0
+		if ann != nil {
+			items = len(ann.Items)
+		}
+		fmt.Printf("wrote run (nR=%d mR=%d, %d data items) to %s\n",
+			r.NumVertices(), r.NumEdges(), items, *runOut)
+	}
+
+	if *specOut == "" && *runOut == "" {
+		fatalf("nothing to do: pass -spec and/or -run output paths")
+	}
+}
+
+func writeTo(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("create %s: %v", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fatalf("write %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close %s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "provgen: "+format+"\n", args...)
+	os.Exit(1)
+}

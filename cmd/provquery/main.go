@@ -1,0 +1,184 @@
+// Command provquery labels a run and answers provenance queries.
+//
+// Usage:
+//
+//	provquery -spec s.xml -run r.xml -from b1 -to c3
+//	provquery -spec s.xml -run r.xml -scheme BFS -stats
+//	provquery -spec s.xml -run r.xml -affected x1     # data provenance
+//
+// Vertices are addressed by occurrence name (module name plus occurrence
+// index, e.g. "b2" for the second execution of module b), data items by
+// their item name from the run XML.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		specPath    = flag.String("spec", "", "specification XML (required)")
+		runPath     = flag.String("run", "", "run XML (required)")
+		scheme      = flag.String("scheme", "TCM", "specification labeling scheme (TCM, BFS, DFS, Interval, Chain)")
+		from        = flag.String("from", "", "source vertex occurrence name (e.g. b1)")
+		to          = flag.String("to", "", "target vertex occurrence name (e.g. c3)")
+		affected    = flag.String("affected", "", "list data items depending on this item")
+		explain     = flag.Bool("explain", false, "with -from/-to: print a concrete dependency path as evidence")
+		upstream    = flag.String("upstream", "", "list every module execution this vertex was derived from")
+		stats       = flag.Bool("stats", false, "print labeling statistics")
+		interactive = flag.Bool("i", false, "read queries from stdin: lines of \"<from> <to>\"")
+	)
+	flag.Parse()
+	if *specPath == "" || *runPath == "" {
+		fatalf("-spec and -run are required")
+	}
+
+	sf, err := os.Open(*specPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	s, _, err := repro.ReadSpecXML(sf)
+	sf.Close()
+	if err != nil {
+		fatalf("spec: %v", err)
+	}
+	rf, err := os.Open(*runPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r, ann, err := repro.ReadRunXML(rf, s)
+	rf.Close()
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+
+	sch, err := repro.SpecSchemeByName(*scheme)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	l, err := repro.LabelRun(r, sch)
+	if err != nil {
+		fatalf("label: %v", err)
+	}
+
+	if *stats {
+		fmt.Printf("run: %d vertices, %d edges\n", r.NumVertices(), r.NumEdges())
+		fmt.Printf("spec: %d vertices, %d edges, |TG|=%d [TG]=%d\n",
+			s.NumVertices(), s.NumEdges(), s.Hier.NumNodes(), s.Hier.MaxDepth)
+		fmt.Printf("labels: max %d bits, avg %.2f bits, n+T=%d\n",
+			l.MaxLabelBits(), l.AvgLabelBits(), l.NumPositioned())
+		fmt.Printf("skeleton: %s, %d index bits\n", *scheme, l.Skeleton().IndexBits())
+	}
+
+	if *from != "" || *to != "" {
+		if *from == "" || *to == "" {
+			fatalf("-from and -to must be given together")
+		}
+		u, err := findVertex(r, *from)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		v, err := findVertex(r, *to)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if l.Reachable(u, v) {
+			fmt.Printf("%s -> %s: reachable (%s depends on %s)\n", *from, *to, *to, *from)
+			if *explain {
+				path := repro.Explain(r, u, v)
+				fmt.Print("  via:")
+				for _, p := range path {
+					fmt.Printf(" %s", r.NameOf(p))
+				}
+				fmt.Println()
+			}
+		} else {
+			fmt.Printf("%s -> %s: NOT reachable\n", *from, *to)
+		}
+	}
+
+	if *upstream != "" {
+		v, err := findVertex(r, *upstream)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cone := repro.UpstreamByLabels(l, v)
+		fmt.Printf("%s was derived from %d module executions:", *upstream, len(cone))
+		for _, u := range cone {
+			fmt.Printf(" %s", r.NameOf(u))
+		}
+		fmt.Println()
+	}
+
+	if *interactive {
+		nm := repro.NewNamer(r)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 0 {
+				continue
+			}
+			if len(fields) != 2 {
+				fmt.Println("? expected: <from> <to>")
+				continue
+			}
+			u, okU := nm.Vertex(fields[0])
+			v, okV := nm.Vertex(fields[1])
+			if !okU || !okV {
+				fmt.Println("? unknown vertex")
+				continue
+			}
+			fmt.Println(l.Reachable(u, v))
+		}
+		if err := sc.Err(); err != nil {
+			fatalf("stdin: %v", err)
+		}
+	}
+
+	if *affected != "" {
+		if ann == nil {
+			fatalf("run XML carries no data items")
+		}
+		dl, err := repro.LabelData(ann, l)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		x, err := findItem(ann, *affected)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		deps := dl.AffectedItems(x)
+		fmt.Printf("%d items depend on %s:", len(deps), *affected)
+		for _, d := range deps {
+			fmt.Printf(" %s", ann.Items[d].Name)
+		}
+		fmt.Println()
+	}
+}
+
+func findVertex(r *repro.Run, name string) (repro.VertexID, error) {
+	if v, ok := repro.NewNamer(r).Vertex(name); ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("no vertex named %q in the run", name)
+}
+
+func findItem(ann *repro.DataAnnotation, name string) (repro.DataItemID, error) {
+	for _, it := range ann.Items {
+		if it.Name == name {
+			return it.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("no data item named %q", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "provquery: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Package repro is a production-quality Go implementation of the
+// skeleton-based reachability labeling scheme for workflow provenance of
+// Bao, Davidson, Khanna and Roy, "An Optimal Labeling Scheme for Workflow
+// Provenance Using Skeleton Labels" (SIGMOD 2010).
+//
+// # Overview
+//
+// Scientific workflow systems answer provenance queries ("does this
+// output depend on that input?") by reachability tests over the run DAG.
+// General DAG reachability labels need linear-length labels, but workflow
+// runs are not arbitrary DAGs: each run derives from a fixed
+// specification by replicating fork subgraphs in parallel and loop
+// subgraphs in series. This library exploits that structure. It labels
+// the (small) specification once with any reachability scheme — the
+// skeleton labels — and labels each run with three preorder positions of
+// the vertex's fork/loop context in the run's execution plan plus a
+// reference to the skeleton label. For a fixed specification the result
+// is optimal: logarithmic-length labels built in linear time answering
+// queries in constant time.
+//
+// # Quick start
+//
+//	b := repro.NewSpecBuilder()
+//	b.Chain("a", "b", "c", "h")
+//	b.Chain("a", "d", "e", "f", "g", "h")
+//	b.Fork("a", "h", "b", "c")
+//	b.Loop("b", "c")
+//	spec, err := b.Build()
+//	...
+//	run, _ := repro.GenerateRun(spec, rand.New(rand.NewSource(1)), 10_000)
+//	labeled, err := repro.LabelRun(run, repro.TCM)
+//	reachable := labeled.Reachable(u, v)
+//
+// See examples/ for complete programs and cmd/provbench for the paper's
+// full experimental suite.
+package repro

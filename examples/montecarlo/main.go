@@ -1,0 +1,88 @@
+// Montecarlo: simulate many executions of one workflow with the built-in
+// engine, label every run against a single shared skeleton labeling (the
+// paper's amortization argument made concrete), and report the
+// distribution of run sizes, makespans and label lengths across the
+// fleet — the "once created, a workflow is executed repeatedly" scenario
+// that motivates the skeleton approach.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	s, err := repro.StandInSpec("BioAID", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow: BioAID stand-in (%d modules, %d forks/loops)\n",
+		s.NumVertices(), len(s.Subgraphs))
+
+	// One skeleton labeling, shared by every run (labeled once, reused).
+	skelStart := time.Now()
+	skel, err := repro.TCM.Build(s.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skelTime := time.Since(skelStart)
+
+	const fleet = 50
+	policy := repro.DefaultEnginePolicy()
+	policy.MeanForkWidth = 2.5
+	policy.MeanLoopIterations = 4
+	rng := rand.New(rand.NewSource(99))
+	eng := repro.NewEngine(s, policy, rng)
+
+	var sizes []int
+	var makespans []time.Duration
+	var labelTimes []time.Duration
+	var maxBits []int
+	totalQueries := 0
+	for i := 0; i < fleet; i++ {
+		tr, err := eng.Execute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		l, err := repro.LabelWithPlan(tr.Run, tr.Plan, skel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		labelTimes = append(labelTimes, time.Since(start))
+		sizes = append(sizes, tr.Run.NumVertices())
+		makespans = append(makespans, tr.Makespan)
+		maxBits = append(maxBits, l.MaxLabelBits())
+
+		// A few provenance queries per run, as a fleet monitor would issue.
+		for q := 0; q < 1000; q++ {
+			u := repro.VertexID(rng.Intn(tr.Run.NumVertices()))
+			v := repro.VertexID(rng.Intn(tr.Run.NumVertices()))
+			l.Reachable(u, v)
+			totalQueries++
+		}
+	}
+
+	sort.Ints(sizes)
+	sort.Slice(makespans, func(i, j int) bool { return makespans[i] < makespans[j] })
+	sort.Ints(maxBits)
+	var totalLabel time.Duration
+	for _, d := range labelTimes {
+		totalLabel += d
+	}
+	fmt.Printf("fleet: %d simulated runs, %d provenance queries\n", fleet, totalQueries)
+	fmt.Printf("run sizes:  min %d, median %d, max %d vertices\n",
+		sizes[0], sizes[fleet/2], sizes[fleet-1])
+	fmt.Printf("makespans:  min %v, median %v, max %v (simulated)\n",
+		makespans[0].Round(time.Millisecond), makespans[fleet/2].Round(time.Millisecond),
+		makespans[fleet-1].Round(time.Millisecond))
+	fmt.Printf("max labels: %d..%d bits\n", maxBits[0], maxBits[fleet-1])
+	fmt.Printf("labeling:   %v total across the fleet; skeleton labeled once in %v (amortized %.1f%%)\n",
+		totalLabel.Round(time.Microsecond), skelTime.Round(time.Microsecond),
+		100*float64(skelTime)/float64(totalLabel+skelTime))
+}

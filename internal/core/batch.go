@@ -1,0 +1,42 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dag"
+)
+
+// ReachableBatch answers many reachability queries, fanning out across
+// CPUs when the batch is large. Labelings are read-only at query time
+// (search-based skeletons use pooled searchers), so parallel evaluation
+// is safe. parallelism <= 0 uses GOMAXPROCS.
+func (l *Labeling) ReachableBatch(pairs [][2]dag.VertexID, parallelism int) []bool {
+	out := make([]bool, len(pairs))
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism == 1 || len(pairs) < 1024 {
+		for i, p := range pairs {
+			out[i] = l.Reachable(p[0], p[1])
+		}
+		return out
+	}
+	chunk := (len(pairs) + parallelism - 1) / parallelism
+	var wg sync.WaitGroup
+	for start := 0; start < len(pairs); start += chunk {
+		end := start + chunk
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = l.Reachable(pairs[i][0], pairs[i][1])
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return out
+}

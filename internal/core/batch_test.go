@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+func TestReachableBatchMatchesSequential(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(1))
+	r, _ := run.GenerateSized(s, rng, 1500)
+	for _, scheme := range []label.Scheme{label.TCM{}, label.BFS{}} {
+		skel, _ := scheme.Build(s.Graph)
+		l, err := core.LabelRun(r, skel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := make([][2]dag.VertexID, 5000)
+		for i := range pairs {
+			pairs[i] = [2]dag.VertexID{
+				dag.VertexID(rng.Intn(r.NumVertices())),
+				dag.VertexID(rng.Intn(r.NumVertices())),
+			}
+		}
+		seq := l.ReachableBatch(pairs, 1)
+		par := l.ReachableBatch(pairs, 8)
+		auto := l.ReachableBatch(pairs, 0)
+		for i := range pairs {
+			want := l.Reachable(pairs[i][0], pairs[i][1])
+			if seq[i] != want || par[i] != want || auto[i] != want {
+				t.Fatalf("%s: batch divergence at %d", scheme.Name(), i)
+			}
+		}
+	}
+}
+
+func TestReachableBatchSmall(t *testing.T) {
+	s := spec.PaperSpec()
+	r, _ := run.MustMaterialize(s, run.SingleExec(s))
+	skel, _ := label.TCM{}.Build(s.Graph)
+	l, _ := core.LabelRun(r, skel)
+	if got := l.ReachableBatch(nil, 4); len(got) != 0 {
+		t.Error("empty batch should be empty")
+	}
+	pairs := [][2]dag.VertexID{{0, 1}, {1, 0}}
+	got := l.ReachableBatch(pairs, 4)
+	if len(got) != 2 {
+		t.Fatal("batch size wrong")
+	}
+}
+
+func BenchmarkReachableBatch(b *testing.B) {
+	s := spec.PaperSpec()
+	r, _ := run.GenerateSized(s, rand.New(rand.NewSource(2)), 20000)
+	skel, _ := label.TCM{}.Build(s.Graph)
+	l, _ := core.LabelRun(r, skel)
+	rng := rand.New(rand.NewSource(3))
+	pairs := make([][2]dag.VertexID, 100_000)
+	for i := range pairs {
+		pairs[i] = [2]dag.VertexID{
+			dag.VertexID(rng.Intn(r.NumVertices())),
+			dag.VertexID(rng.Intn(r.NumVertices())),
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.ReachableBatch(pairs, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.ReachableBatch(pairs, 0)
+		}
+	})
+}

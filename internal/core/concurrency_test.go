@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// TestConcurrentQueries hammers one labeling from many goroutines for
+// every skeleton scheme. Labelings are read-only at query time (search
+// schemes use pooled searchers), so this must be race-free; run with
+// `go test -race` to enforce.
+func TestConcurrentQueries(t *testing.T) {
+	s := spec.PaperSpec()
+	r, _ := run.GenerateSized(s, rand.New(rand.NewSource(1)), 600)
+	closure, _ := r.Graph.TransitiveClosure()
+	n := r.NumVertices()
+	for _, scheme := range label.All() {
+		scheme := scheme
+		t.Run(scheme.Name(), func(t *testing.T) {
+			skel, err := scheme.Build(s.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := core.LabelRun(r, skel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan string, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for q := 0; q < 2000; q++ {
+						u := dag.VertexID(rng.Intn(n))
+						v := dag.VertexID(rng.Intn(n))
+						if l.Reachable(u, v) != closure.Reachable(u, v) {
+							select {
+							case errs <- "mismatch under concurrency":
+							default:
+							}
+							return
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+			close(errs)
+			for msg := range errs {
+				t.Fatal(msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+)
+
+// The paper's motivating deployment stores each vertex's reachability
+// label next to the data in a database, so labels must serialize
+// compactly and queries must run on deserialized labels without the run
+// graph. This file provides a varint wire format for label sets and a
+// Snapshot that answers queries from stored labels plus the (shared,
+// per-specification) skeleton labeling.
+
+const snapshotMagic = uint32(0x534b4c31) // "SKL1"
+
+// WriteTo serializes the labeling's labels (not the skeleton labeling,
+// which is shared across runs and persisted once per specification).
+func (l *Labeling) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(x uint64) error {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], x)
+		m, err := bw.Write(buf[:k])
+		n += int64(m)
+		return err
+	}
+	if err := write(uint64(snapshotMagic)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(l.labels))); err != nil {
+		return n, err
+	}
+	if err := write(uint64(l.numPositioned)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(l.numSpec)); err != nil {
+		return n, err
+	}
+	for _, lab := range l.labels {
+		for _, x := range [4]uint64{uint64(lab.Q1), uint64(lab.Q2), uint64(lab.Q3), uint64(lab.Orig)} {
+			if err := write(x); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Snapshot is a deserialized label set: it answers reachability queries
+// from stored labels and a skeleton labeling, with no run graph needed.
+type Snapshot struct {
+	Labels        []Label
+	NumPositioned int
+	NumSpec       int
+}
+
+// ReadSnapshot deserializes a label set written by WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	magic, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("core: read snapshot header: %w", err)
+	}
+	if uint32(magic) != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %#x", magic)
+	}
+	count, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("core: implausible label count %d", count)
+	}
+	np, err := read()
+	if err != nil {
+		return nil, err
+	}
+	ns, err := read()
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Labels:        make([]Label, count),
+		NumPositioned: int(np),
+		NumSpec:       int(ns),
+	}
+	for i := range s.Labels {
+		var vals [4]uint64
+		for j := range vals {
+			v, err := read()
+			if err != nil {
+				return nil, fmt.Errorf("core: read label %d: %w", i, err)
+			}
+			vals[j] = v
+		}
+		if vals[0] > uint64(np) || vals[1] > uint64(np) || vals[2] > uint64(np) {
+			return nil, fmt.Errorf("core: label %d position exceeds n+T=%d", i, np)
+		}
+		if vals[3] >= ns {
+			return nil, fmt.Errorf("core: label %d origin %d exceeds spec size %d", i, vals[3], ns)
+		}
+		s.Labels[i] = Label{
+			Q1:   uint32(vals[0]),
+			Q2:   uint32(vals[1]),
+			Q3:   uint32(vals[2]),
+			Orig: dag.VertexID(vals[3]),
+		}
+	}
+	return s, nil
+}
+
+// Bind attaches a skeleton labeling to the snapshot, producing a fully
+// query-capable Labeling. The skeleton must label the same specification
+// the snapshot was created from.
+func (s *Snapshot) Bind(skeleton label.Labeling) (*Labeling, error) {
+	if skeleton == nil {
+		return nil, fmt.Errorf("core: nil skeleton labeling")
+	}
+	return &Labeling{
+		labels:        s.Labels,
+		skeleton:      skeleton,
+		numPositioned: s.NumPositioned,
+		numSpec:       s.NumSpec,
+	}, nil
+}

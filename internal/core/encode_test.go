@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(1))
+	r, _ := run.GenerateSized(s, rng, 800)
+	skel, _ := label.TCM{}.Build(s.Graph)
+	l, err := core.LabelRun(r, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := l.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	snap, err := core.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Labels) != r.NumVertices() {
+		t.Fatalf("snapshot has %d labels, want %d", len(snap.Labels), r.NumVertices())
+	}
+	bound, err := snap.Bind(skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 5000; q++ {
+		u := dag.VertexID(rng.Intn(r.NumVertices()))
+		v := dag.VertexID(rng.Intn(r.NumVertices()))
+		if bound.Reachable(u, v) != l.Reachable(u, v) {
+			t.Fatalf("bound snapshot disagrees at (%d,%d)", u, v)
+		}
+	}
+	// Compactness: varint encoding should beat 16 bytes/label comfortably.
+	if perLabel := float64(buf.Cap()) / float64(r.NumVertices()); perLabel > 12 {
+		t.Errorf("snapshot uses %.1f bytes/label; expected < 12", perLabel)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	s := spec.PaperSpec()
+	r, _ := run.MustMaterialize(s, run.SingleExec(s))
+	skel, _ := label.BFS{}.Build(s.Graph)
+	l, err := core.LabelRun(r, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if _, err := core.ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Error("corrupted magic accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := core.ReadSnapshot(bytes.NewReader(good[:len(good)/2])); err == nil {
+			t.Error("truncated snapshot accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := core.ReadSnapshot(bytes.NewReader(nil)); err == nil {
+			t.Error("empty snapshot accepted")
+		}
+	})
+	t.Run("nil skeleton", func(t *testing.T) {
+		snap, err := core.ReadSnapshot(bytes.NewReader(good))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := snap.Bind(nil); err == nil {
+			t.Error("nil skeleton accepted")
+		}
+	})
+}
+
+// Property: snapshots round-trip for arbitrary runs and all answers
+// survive serialization.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	s := spec.PaperSpec()
+	skel, _ := label.TCM{}.Build(s.Graph)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		et := run.RandomExecSteps(s, rng, rng.Intn(50))
+		r, _ := run.MustMaterialize(s, et)
+		l, err := core.LabelRun(r, skel)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := l.WriteTo(&buf); err != nil {
+			return false
+		}
+		snap, err := core.ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		bound, err := snap.Bind(skel)
+		if err != nil {
+			return false
+		}
+		n := r.NumVertices()
+		for q := 0; q < 200; q++ {
+			u := dag.VertexID(rng.Intn(n))
+			v := dag.VertexID(rng.Intn(n))
+			if bound.Reachable(u, v) != l.Reachable(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package dag
+
+import "math/rand"
+
+// RandomDAG generates a random DAG with n vertices and approximately m
+// edges, oriented along a random permutation so the result is acyclic by
+// construction. Duplicate edges are suppressed, so the realized edge count
+// can be slightly below m on dense requests.
+func RandomDAG(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	perm := rng.Perm(n)
+	seen := make(map[[2]VertexID]bool, m)
+	for tries := 0; g.NumEdges() < m && tries < 20*m+100; tries++ {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-i-1)
+		u, v := VertexID(perm[i]), VertexID(perm[j])
+		key := [2]VertexID{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomFlowNetwork generates a random acyclic flow network (single source,
+// single sink, every vertex on a source→sink path) with n >= 2 vertices and
+// approximately m edges.
+func RandomFlowNetwork(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	// Vertex 0 is the source and n-1 the sink; interior vertices are ordered
+	// by ID, giving acyclicity. First thread a random spanning structure so
+	// every interior vertex has an in-edge from a smaller vertex and an
+	// out-edge to a larger one.
+	for v := 1; v < n-1; v++ {
+		g.AddEdge(VertexID(rng.Intn(v)), VertexID(v))
+	}
+	for v := n - 2; v >= 1; v-- {
+		w := v + 1 + rng.Intn(n-1-v)
+		g.AddEdge(VertexID(v), VertexID(w))
+	}
+	if n == 2 {
+		g.AddEdge(0, 1)
+		return g
+	}
+	seen := make(map[[2]VertexID]bool, m)
+	for _, e := range g.Edges() {
+		seen[[2]VertexID{e.Tail, e.Head}] = true
+	}
+	for tries := 0; g.NumEdges() < m && tries < 20*m+100; tries++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-1-u)
+		key := [2]VertexID{VertexID(u), VertexID(v)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.AddEdge(VertexID(u), VertexID(v))
+	}
+	return g
+}

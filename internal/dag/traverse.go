@@ -1,0 +1,184 @@
+package dag
+
+import (
+	"repro/internal/bitset"
+)
+
+// TopoSort returns a topological order of the vertices and true, or nil and
+// false if the graph contains a cycle. The order is deterministic (Kahn's
+// algorithm with a FIFO frontier seeded in increasing vertex order).
+func (g *Graph) TopoSort() ([]VertexID, bool) {
+	n := g.NumVertices()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	order := make([]VertexID, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, ok := g.TopoSort()
+	return ok
+}
+
+// ReachableBFS reports whether v is reachable from u by a breadth-first
+// search. It allocates a visited set per call; use a Searcher to reuse state
+// across many queries.
+func (g *Graph) ReachableBFS(u, v VertexID) bool {
+	s := NewSearcher(g)
+	return s.ReachableBFS(u, v)
+}
+
+// ReachableDFS reports whether v is reachable from u by an iterative
+// depth-first search.
+func (g *Graph) ReachableDFS(u, v VertexID) bool {
+	s := NewSearcher(g)
+	return s.ReachableDFS(u, v)
+}
+
+// Searcher answers reachability queries by graph search, reusing its
+// visited set and frontier between calls. It corresponds to the paper's
+// BFS/DFS "labeling scheme" where labels are empty and all work happens at
+// query time. A Searcher is not safe for concurrent use.
+type Searcher struct {
+	g       *Graph
+	visited []uint32 // generation-stamped visited marks
+	gen     uint32
+	stack   []VertexID
+}
+
+// NewSearcher returns a Searcher over g.
+func NewSearcher(g *Graph) *Searcher {
+	return &Searcher{g: g, visited: make([]uint32, g.NumVertices())}
+}
+
+func (s *Searcher) begin() {
+	s.gen++
+	if s.gen == 0 { // wrapped: reset stamps
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.gen = 1
+	}
+	s.stack = s.stack[:0]
+}
+
+// ReachableBFS reports whether v is reachable from u.
+func (s *Searcher) ReachableBFS(u, v VertexID) bool {
+	if u == v {
+		return true
+	}
+	s.begin()
+	s.visited[u] = s.gen
+	queue := s.stack
+	queue = append(queue, u)
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, w := range s.g.out[x] {
+			if w == v {
+				s.stack = queue[:0]
+				return true
+			}
+			if s.visited[w] != s.gen {
+				s.visited[w] = s.gen
+				queue = append(queue, w)
+			}
+		}
+	}
+	s.stack = queue[:0]
+	return false
+}
+
+// ReachableDFS reports whether v is reachable from u.
+func (s *Searcher) ReachableDFS(u, v VertexID) bool {
+	if u == v {
+		return true
+	}
+	s.begin()
+	s.visited[u] = s.gen
+	stack := s.stack
+	stack = append(stack, u)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range s.g.out[x] {
+			if w == v {
+				s.stack = stack[:0]
+				return true
+			}
+			if s.visited[w] != s.gen {
+				s.visited[w] = s.gen
+				stack = append(stack, w)
+			}
+		}
+	}
+	s.stack = stack[:0]
+	return false
+}
+
+// Closure is a precomputed transitive closure: row i is the set of vertices
+// reachable from i (including i itself).
+type Closure struct {
+	rows []*bitset.Set
+}
+
+// TransitiveClosure computes the full transitive closure of g. The graph
+// must be acyclic. Cost is O(n*m/64) time and O(n²/8) bytes — this is the
+// paper's TCM approach and is deliberately expensive for large graphs.
+func (g *Graph) TransitiveClosure() (*Closure, bool) {
+	order, ok := g.TopoSort()
+	if !ok {
+		return nil, false
+	}
+	n := g.NumVertices()
+	rows := make([]*bitset.Set, n)
+	// Process in reverse topological order: row(v) = {v} ∪ ⋃ row(w) for (v,w).
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		row := bitset.New(n)
+		row.Set(int(v))
+		for _, w := range g.out[v] {
+			row.Or(rows[w])
+		}
+		rows[v] = row
+	}
+	return &Closure{rows: rows}, true
+}
+
+// Reachable reports whether v is reachable from u (u reaches itself).
+func (c *Closure) Reachable(u, v VertexID) bool {
+	return c.rows[u].Test(int(v))
+}
+
+// CountReachable returns the number of vertices reachable from u, including u.
+func (c *Closure) CountReachable(u VertexID) int {
+	return c.rows[u].Count()
+}
+
+// NumVertices returns the number of rows in the closure.
+func (c *Closure) NumVertices() int { return len(c.rows) }
+
+// Row returns the reachability row of u. The caller must not modify it.
+func (c *Closure) Row(u VertexID) *bitset.Set { return c.rows[u] }

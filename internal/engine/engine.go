@@ -1,0 +1,238 @@
+// Package engine simulates a scientific workflow system executing a
+// specification: control-flow decisions (how many parallel fork copies,
+// whether a loop iterates again) are made per copy by a pluggable policy,
+// modules consume simulated wall-clock time, and every execution produces
+// data items on its outgoing channels. Each simulated execution yields
+// the run graph, its ground-truth execution plan, an engine event log,
+// the data annotation and timing statistics — everything the labeling
+// pipeline and the experiments consume.
+//
+// This is the substrate standing in for Taverna/Kepler/Triana (the
+// systems behind the paper's real workloads): it produces runs the same
+// way real engines do — by deciding fork widths and loop continuations
+// at run time.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/events"
+	"repro/internal/plan"
+	"repro/internal/provdata"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// Policy makes the engine's dynamic choices.
+type Policy interface {
+	// ForkWidth returns how many parallel copies of the fork to launch at
+	// one site (>= 1).
+	ForkWidth(hnode int, depth int, rng *rand.Rand) int
+	// LoopContinue reports whether the loop should run another iteration
+	// after completing iteration iter (1-based).
+	LoopContinue(hnode int, iter int, rng *rand.Rand) bool
+	// Duration returns the simulated execution time of one module.
+	Duration(module spec.ModuleName, rng *rand.Rand) time.Duration
+}
+
+// RandomPolicy draws fork widths and loop continuations from geometric
+// distributions and module durations uniformly from a range.
+type RandomPolicy struct {
+	// MeanForkWidth is the expected number of parallel fork copies (>=1).
+	MeanForkWidth float64
+	// MeanLoopIterations is the expected number of loop iterations (>=1).
+	MeanLoopIterations float64
+	// MinDuration and MaxDuration bound module execution times.
+	MinDuration, MaxDuration time.Duration
+	// MaxCopies caps both decisions to keep simulations finite.
+	MaxCopies int
+}
+
+// DefaultPolicy returns a moderate random policy.
+func DefaultPolicy() RandomPolicy {
+	return RandomPolicy{
+		MeanForkWidth:      2,
+		MeanLoopIterations: 3,
+		MinDuration:        10 * time.Millisecond,
+		MaxDuration:        2 * time.Second,
+		MaxCopies:          64,
+	}
+}
+
+// ForkWidth implements Policy.
+func (p RandomPolicy) ForkWidth(_ int, _ int, rng *rand.Rand) int {
+	return geometricAtLeastOne(rng, p.MeanForkWidth, p.cap())
+}
+
+// LoopContinue implements Policy.
+func (p RandomPolicy) LoopContinue(_ int, iter int, rng *rand.Rand) bool {
+	if iter >= p.cap() {
+		return false
+	}
+	mean := p.MeanLoopIterations
+	if mean <= 1 {
+		return false
+	}
+	return rng.Float64() < (mean-1)/mean
+}
+
+// Duration implements Policy.
+func (p RandomPolicy) Duration(_ spec.ModuleName, rng *rand.Rand) time.Duration {
+	lo, hi := p.MinDuration, p.MaxDuration
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+}
+
+func (p RandomPolicy) cap() int {
+	if p.MaxCopies > 0 {
+		return p.MaxCopies
+	}
+	return 64
+}
+
+func geometricAtLeastOne(rng *rand.Rand, mean float64, max int) int {
+	if mean <= 1 {
+		return 1
+	}
+	prob := (mean - 1) / mean
+	k := 1
+	for rng.Float64() < prob && k < max {
+		k++
+	}
+	return k
+}
+
+// Trace is the complete record of one simulated execution.
+type Trace struct {
+	// Run is the executed run graph with origins.
+	Run *run.Run
+	// Plan is the ground-truth execution plan.
+	Plan *plan.Plan
+	// Events is the engine's execution log.
+	Events []events.Event
+	// Data annotates every channel with the items that flowed over it.
+	Data *provdata.Annotation
+	// Durations holds each module execution's simulated time.
+	Durations []time.Duration
+	// Makespan is the critical-path length: the simulated wall-clock time
+	// of the whole run under unlimited parallelism.
+	Makespan time.Duration
+	// CriticalPath is one longest chain of module executions.
+	CriticalPath []dag.VertexID
+	// TotalWork is the sum of all module durations (sequential time).
+	TotalWork time.Duration
+	// ExecCounts counts executions per specification module.
+	ExecCounts map[spec.ModuleName]int
+}
+
+// Engine executes specifications under a policy.
+type Engine struct {
+	spec   *spec.Spec
+	policy Policy
+	rng    *rand.Rand
+}
+
+// New returns an engine for the specification.
+func New(s *spec.Spec, policy Policy, rng *rand.Rand) *Engine {
+	return &Engine{spec: s, policy: policy, rng: rng}
+}
+
+// Execute simulates one run.
+func (e *Engine) Execute() (*Trace, error) {
+	et := e.decide()
+	r, p, err := run.Materialize(e.spec, et)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	tr := &Trace{
+		Run:        r,
+		Plan:       p,
+		Events:     events.Emit(r, p),
+		Data:       e.produceData(r),
+		Durations:  make([]time.Duration, r.NumVertices()),
+		ExecCounts: make(map[spec.ModuleName]int),
+	}
+	for v := 0; v < r.NumVertices(); v++ {
+		d := e.policy.Duration(e.spec.NameOf(r.Origin[v]), e.rng)
+		tr.Durations[v] = d
+		tr.TotalWork += d
+		tr.ExecCounts[e.spec.NameOf(r.Origin[v])]++
+	}
+	total, path, ok := r.Graph.LongestPath(func(v dag.VertexID) int64 {
+		return int64(tr.Durations[v])
+	})
+	if !ok {
+		return nil, fmt.Errorf("engine: run graph unexpectedly cyclic")
+	}
+	tr.Makespan = time.Duration(total)
+	tr.CriticalPath = path
+	return tr, nil
+}
+
+// decide builds the execution tree by interrogating the policy per site
+// and per copy, exactly as an engine decides at run time.
+func (e *Engine) decide() *run.ExecTree {
+	var buildSite func(hnode, depth int) *run.ExecTree
+	var buildCopy func(hnode, depth int) *run.ExecCopy
+	buildCopy = func(hnode, depth int) *run.ExecCopy {
+		c := &run.ExecCopy{}
+		for _, child := range e.spec.Hier.Children[hnode] {
+			c.Sites = append(c.Sites, buildSite(child, depth+1))
+		}
+		return c
+	}
+	buildSite = func(hnode, depth int) *run.ExecTree {
+		t := &run.ExecTree{HNode: hnode}
+		if e.spec.KindOf(hnode) == spec.Fork {
+			width := e.policy.ForkWidth(hnode, depth, e.rng)
+			if width < 1 {
+				width = 1
+			}
+			for i := 0; i < width; i++ {
+				t.Copies = append(t.Copies, buildCopy(hnode, depth))
+			}
+			return t
+		}
+		iter := 1
+		t.Copies = append(t.Copies, buildCopy(hnode, depth))
+		for e.policy.LoopContinue(hnode, iter, e.rng) {
+			iter++
+			t.Copies = append(t.Copies, buildCopy(hnode, depth))
+		}
+		return t
+	}
+	return &run.ExecTree{HNode: 0, Copies: []*run.ExecCopy{buildCopy(0, 1)}}
+}
+
+// produceData emits one item per channel plus, for branching modules, a
+// shared item read by all successors (mirroring x1 in Figure 11).
+func (e *Engine) produceData(r *run.Run) *provdata.Annotation {
+	a := &provdata.Annotation{Run: r}
+	add := func(producer dag.VertexID, consumers ...dag.VertexID) {
+		id := provdata.ItemID(len(a.Items))
+		a.Items = append(a.Items, provdata.Item{
+			ID:        id,
+			Name:      fmt.Sprintf("x%d", id+1),
+			Producer:  producer,
+			Consumers: consumers,
+		})
+	}
+	for v := 0; v < r.NumVertices(); v++ {
+		outs := r.Graph.Out(dag.VertexID(v))
+		if len(outs) == 0 {
+			continue
+		}
+		if len(outs) > 1 {
+			add(dag.VertexID(v), append([]dag.VertexID(nil), outs...)...)
+		}
+		for _, w := range outs {
+			add(dag.VertexID(v), w)
+		}
+	}
+	return a
+}

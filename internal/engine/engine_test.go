@@ -1,0 +1,173 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/engine"
+	"repro/internal/events"
+	"repro/internal/label"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func policy() engine.RandomPolicy {
+	p := engine.DefaultPolicy()
+	p.MaxCopies = 8
+	return p
+}
+
+func TestExecuteProducesConsistentTrace(t *testing.T) {
+	s := spec.PaperSpec()
+	e := engine.New(s, policy(), rand.New(rand.NewSource(1)))
+	tr, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run.Validate(); err != nil {
+		t.Fatalf("engine produced invalid run: %v", err)
+	}
+	if err := tr.Plan.Validate(tr.Run.Graph); err != nil {
+		t.Fatalf("engine produced invalid plan: %v", err)
+	}
+	if err := tr.Data.Validate(); err != nil {
+		t.Fatalf("engine produced invalid data annotation: %v", err)
+	}
+	if len(tr.Durations) != tr.Run.NumVertices() {
+		t.Fatal("durations not per-vertex")
+	}
+	if tr.Makespan <= 0 || tr.TotalWork < tr.Makespan {
+		t.Fatalf("makespan %v vs total work %v inconsistent", tr.Makespan, tr.TotalWork)
+	}
+	// Critical path is a real path and its weight equals the makespan.
+	var sum time.Duration
+	for i, v := range tr.CriticalPath {
+		sum += tr.Durations[v]
+		if i > 0 && !tr.Run.Graph.HasEdge(tr.CriticalPath[i-1], v) {
+			t.Fatal("critical path is not a path")
+		}
+	}
+	if sum != tr.Makespan {
+		t.Fatalf("critical path weight %v != makespan %v", sum, tr.Makespan)
+	}
+	// Exec counts total the run size.
+	total := 0
+	for _, c := range tr.ExecCounts {
+		total += c
+	}
+	if total != tr.Run.NumVertices() {
+		t.Fatalf("exec counts total %d, want %d", total, tr.Run.NumVertices())
+	}
+	// Source and sink execute exactly once.
+	if tr.ExecCounts[s.NameOf(s.Source)] != 1 || tr.ExecCounts[s.NameOf(s.Sink)] != 1 {
+		t.Fatal("terminals should execute exactly once")
+	}
+}
+
+func TestEngineEventLogReplays(t *testing.T) {
+	s := workload.MustStandIn("EBI", 3)
+	e := engine.New(s, policy(), rand.New(rand.NewSource(2)))
+	tr, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skel, _ := label.TCM{}.Build(s.Graph)
+	ol, err := events.Replay(s, skel, tr.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ol.NumVertices() != tr.Run.NumVertices() {
+		t.Fatal("event replay lost executions")
+	}
+	offline, err := core.LabelRunWithPlan(tr.Run, tr.Plan, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := tr.Run.NumVertices()
+	for q := 0; q < 2000; q++ {
+		u := dag.VertexID(rng.Intn(n))
+		v := dag.VertexID(rng.Intn(n))
+		if ol.Reachable(u, v) != offline.Reachable(u, v) {
+			t.Fatalf("online/offline disagree at (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestPolicyBounds(t *testing.T) {
+	p := policy()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		if w := p.ForkWidth(1, 1, rng); w < 1 || w > p.MaxCopies {
+			t.Fatalf("fork width %d out of bounds", w)
+		}
+		if d := p.Duration("m", rng); d < p.MinDuration || d >= p.MaxDuration {
+			t.Fatalf("duration %v out of bounds", d)
+		}
+	}
+	// LoopContinue must terminate within MaxCopies.
+	iters := 1
+	for p.LoopContinue(1, iters, rng) {
+		iters++
+		if iters > p.MaxCopies {
+			t.Fatal("loop ran past the cap")
+		}
+	}
+	// Degenerate policies clamp sanely.
+	var zero engine.RandomPolicy
+	if w := zero.ForkWidth(1, 1, rng); w != 1 {
+		t.Fatalf("zero policy width = %d", w)
+	}
+	if zero.LoopContinue(1, 1, rng) {
+		t.Fatal("zero policy should never loop")
+	}
+	if d := zero.Duration("m", rng); d != 0 {
+		t.Fatalf("zero policy duration = %v", d)
+	}
+}
+
+// Property: every simulated trace is internally consistent and the whole
+// labeling pipeline works on engine-produced runs.
+func TestQuickEngineTraces(t *testing.T) {
+	specs := []*spec.Spec{spec.PaperSpec(), workload.MustStandIn("PubMed", 1)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := specs[rng.Intn(len(specs))]
+		p := policy()
+		p.MeanForkWidth = 1 + rng.Float64()*2
+		p.MeanLoopIterations = 1 + rng.Float64()*3
+		tr, err := engine.New(s, p, rng).Execute()
+		if err != nil {
+			return false
+		}
+		if tr.Run.Validate() != nil || tr.Plan.Validate(tr.Run.Graph) != nil || tr.Data.Validate() != nil {
+			return false
+		}
+		skel, err := label.Interval{}.Build(s.Graph)
+		if err != nil {
+			return false
+		}
+		l, err := core.LabelRun(tr.Run, skel)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		searcher := dag.NewSearcher(tr.Run.Graph)
+		n := tr.Run.NumVertices()
+		for q := 0; q < 200; q++ {
+			u := dag.VertexID(rng.Intn(n))
+			v := dag.VertexID(rng.Intn(n))
+			if l.Reachable(u, v) != searcher.ReachableBFS(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package events models workflow-engine execution logs: a stream of
+// copy-start and module-execution events, like the logs the paper notes
+// Taverna produces ("the execution plan and context can be directly
+// extracted from the system log"). It provides an emitter that renders an
+// execution tree as a valid event stream, a text serialization for
+// log files, and a consumer that drives the online labeler — so a run can
+// be labeled straight from an engine log with no graph reconstruction.
+package events
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/label"
+	"repro/internal/online"
+	"repro/internal/plan"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// Kind is the event type.
+type Kind uint8
+
+const (
+	// CopyStart begins a new fork copy or loop iteration.
+	CopyStart Kind = iota
+	// ModuleExec records one module execution inside a copy.
+	ModuleExec
+)
+
+// Event is one log record. Copies are numbered by the engine in starting
+// order; copy 0 is the run itself and needs no CopyStart.
+type Event struct {
+	Kind Kind
+	// Copy is the subject copy: the started copy for CopyStart, the
+	// context copy for ModuleExec.
+	Copy int
+	// Parent is the enclosing copy (CopyStart only).
+	Parent int
+	// HNode is the specification hierarchy node of the copy (CopyStart).
+	HNode int
+	// Module is the executed module (ModuleExec only).
+	Module spec.ModuleName
+}
+
+// Emit renders a materialized run's ground-truth plan as an event
+// stream: copies start in plan order (serial order for loop chains) and
+// every module execution appears after its context copy started.
+func Emit(r *run.Run, p *plan.Plan) []Event {
+	// Assign copy numbers in a DFS over the plan's + nodes.
+	copyID := make(map[*plan.Node]int, len(p.Nodes))
+	var events []Event
+	next := 0
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		copyID[n] = next
+		if next > 0 {
+			events = append(events, Event{
+				Kind:   CopyStart,
+				Copy:   next,
+				Parent: copyID[plusParent(n)],
+				HNode:  n.HNode,
+			})
+		}
+		next++
+		for _, minus := range n.Children {
+			for _, c := range minus.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(p.Root)
+	for v, ctx := range p.Context {
+		events = append(events, Event{
+			Kind:   ModuleExec,
+			Copy:   copyID[ctx],
+			Module: r.Spec.NameOf(r.Origin[v]),
+		})
+	}
+	return events
+}
+
+// plusParent returns the + node enclosing n (skipping the − node).
+func plusParent(n *plan.Node) *plan.Node {
+	if n.Parent == nil {
+		return n
+	}
+	return n.Parent.Parent
+}
+
+// Replay feeds an event stream into an online labeler. It returns the
+// labeler and the run vertex IDs in event order. Copy numbering must
+// follow the Emit convention (0 = the run, parents before children, loop
+// iterations in serial order).
+func Replay(s *spec.Spec, skeleton label.Labeling, events []Event) (*online.Labeler, error) {
+	l := online.New(s, skeleton)
+	copies := map[int]*online.Copy{0: l.Root()}
+	for i, e := range events {
+		switch e.Kind {
+		case CopyStart:
+			parent, ok := copies[e.Parent]
+			if !ok {
+				return nil, fmt.Errorf("events: event %d starts copy %d under unknown parent %d", i, e.Copy, e.Parent)
+			}
+			if _, dup := copies[e.Copy]; dup {
+				return nil, fmt.Errorf("events: event %d restarts copy %d", i, e.Copy)
+			}
+			c, err := l.StartCopy(parent, e.HNode)
+			if err != nil {
+				return nil, fmt.Errorf("events: event %d: %w", i, err)
+			}
+			copies[e.Copy] = c
+		case ModuleExec:
+			c, ok := copies[e.Copy]
+			if !ok {
+				return nil, fmt.Errorf("events: event %d executes in unknown copy %d", i, e.Copy)
+			}
+			orig, ok := s.VertexOf(e.Module)
+			if !ok {
+				return nil, fmt.Errorf("events: event %d references unknown module %q", i, e.Module)
+			}
+			if _, err := l.AddExec(c, orig); err != nil {
+				return nil, fmt.Errorf("events: event %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("events: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	return l, nil
+}
+
+// WriteLog serializes events as a line-oriented log:
+//
+//	copy <id> parent <id> hnode <n>
+//	exec <module> copy <id>
+func WriteLog(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		var err error
+		switch e.Kind {
+		case CopyStart:
+			_, err = fmt.Fprintf(bw, "copy %d parent %d hnode %d\n", e.Copy, e.Parent, e.HNode)
+		case ModuleExec:
+			_, err = fmt.Fprintf(bw, "exec %s copy %d\n", e.Module, e.Copy)
+		default:
+			err = fmt.Errorf("events: unknown kind %d", e.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a log written by WriteLog.
+func ReadLog(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "copy" && len(fields) == 6 && fields[2] == "parent" && fields[4] == "hnode":
+			var e Event
+			e.Kind = CopyStart
+			if _, err := fmt.Sscanf(line, "copy %d parent %d hnode %d", &e.Copy, &e.Parent, &e.HNode); err != nil {
+				return nil, fmt.Errorf("events: line %d: %w", lineNo, err)
+			}
+			events = append(events, e)
+		case fields[0] == "exec" && len(fields) == 4 && fields[2] == "copy":
+			var e Event
+			e.Kind = ModuleExec
+			e.Module = spec.ModuleName(fields[1])
+			if _, err := fmt.Sscanf(fields[3], "%d", &e.Copy); err != nil {
+				return nil, fmt.Errorf("events: line %d: %w", lineNo, err)
+			}
+			events = append(events, e)
+		default:
+			return nil, fmt.Errorf("events: line %d: unrecognized record %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

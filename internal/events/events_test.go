@@ -1,0 +1,166 @@
+package events_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/events"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+func TestEmitReplayMatchesOracle(t *testing.T) {
+	s := spec.PaperSpec()
+	r, p := run.Figure3Run(s)
+	evs := events.Emit(r, p)
+	// One CopyStart per non-root + node (10) plus one ModuleExec per
+	// vertex (16).
+	starts, execs := 0, 0
+	for _, e := range evs {
+		switch e.Kind {
+		case events.CopyStart:
+			starts++
+		case events.ModuleExec:
+			execs++
+		}
+	}
+	if starts != 10 || execs != 16 {
+		t.Fatalf("starts/execs = %d/%d, want 10/16", starts, execs)
+	}
+	skel, _ := label.TCM{}.Build(s.Graph)
+	l, err := events.Replay(s, skel, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumVertices() != r.NumVertices() {
+		t.Fatalf("replay has %d vertices, want %d", l.NumVertices(), r.NumVertices())
+	}
+	// Emit orders ModuleExec events by run vertex ID, so IDs align.
+	closure, _ := r.Graph.TransitiveClosure()
+	n := r.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if l.Reachable(dag.VertexID(u), dag.VertexID(v)) != closure.Reachable(dag.VertexID(u), dag.VertexID(v)) {
+				t.Fatalf("event-replayed labels disagree at (%s,%s)", r.NameOf(dag.VertexID(u)), r.NameOf(dag.VertexID(v)))
+			}
+		}
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	s := spec.PaperSpec()
+	r, p := run.Figure3Run(s)
+	evs := events.Emit(r, p)
+	var buf bytes.Buffer
+	if err := events.WriteLog(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := events.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("round trip lost events: %d -> %d", len(evs), len(got))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d changed: %+v -> %+v", i, evs[i], got[i])
+		}
+	}
+}
+
+func TestReadLogTolerant(t *testing.T) {
+	log := `
+# engine log
+copy 1 parent 0 hnode 1
+
+exec a copy 0
+`
+	evs, err := events.ReadLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+}
+
+func TestReadLogErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus line",
+		"copy x parent 0 hnode 1",
+		"exec a copy x",
+		"copy 1 parent 0",
+	} {
+		if _, err := events.ReadLog(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	s := spec.PaperSpec()
+	skel, _ := label.BFS{}.Build(s.Graph)
+	cases := []struct {
+		name string
+		evs  []events.Event
+	}{
+		{"unknown parent", []events.Event{{Kind: events.CopyStart, Copy: 1, Parent: 9, HNode: 1}}},
+		{"duplicate copy", []events.Event{
+			{Kind: events.CopyStart, Copy: 1, Parent: 0, HNode: 1},
+			{Kind: events.CopyStart, Copy: 1, Parent: 0, HNode: 1},
+		}},
+		{"unknown exec copy", []events.Event{{Kind: events.ModuleExec, Copy: 5, Module: "a"}}},
+		{"unknown module", []events.Event{{Kind: events.ModuleExec, Copy: 0, Module: "zz"}}},
+		{"bad kind", []events.Event{{Kind: 99}}},
+	}
+	for _, c := range cases {
+		if _, err := events.Replay(s, skel, c.evs); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// Property: emit→log→parse→replay agrees with direct reachability for
+// random runs.
+func TestQuickLogPipeline(t *testing.T) {
+	s := spec.PaperSpec()
+	skel, _ := label.TCM{}.Build(s.Graph)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		et := run.RandomExecSteps(s, rng, rng.Intn(40))
+		r, p := run.MustMaterialize(s, et)
+		evs := events.Emit(r, p)
+		var buf bytes.Buffer
+		if err := events.WriteLog(&buf, evs); err != nil {
+			return false
+		}
+		parsed, err := events.ReadLog(&buf)
+		if err != nil {
+			return false
+		}
+		l, err := events.Replay(s, skel, parsed)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		searcher := dag.NewSearcher(r.Graph)
+		n := r.NumVertices()
+		for q := 0; q < 200; q++ {
+			u := dag.VertexID(rng.Intn(n))
+			v := dag.VertexID(rng.Intn(n))
+			if l.Reachable(u, v) != searcher.ReachableBFS(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package events_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// FuzzReadLog ensures the log parser never panics and that whatever it
+// parses either replays cleanly or is rejected by Replay — never a
+// crash.
+func FuzzReadLog(f *testing.F) {
+	s := spec.PaperSpec()
+	r, p := run.Figure3Run(s)
+	var seed bytes.Buffer
+	if err := events.WriteLog(&seed, events.Emit(r, p)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("copy 1 parent 0 hnode 1\nexec a copy 0\n")
+	f.Add("# comment only\n")
+	f.Add("garbage\n")
+	skel, err := label.BFS{}.Build(s.Graph)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		evs, err := events.ReadLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Parsed logs must round-trip.
+		var buf bytes.Buffer
+		if err := events.WriteLog(&buf, evs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := events.ReadLog(&buf)
+		if err != nil || len(again) != len(evs) {
+			t.Fatalf("round trip failed: %v (%d vs %d)", err, len(again), len(evs))
+		}
+		// Replay must either succeed or error — never panic.
+		_, _ = events.Replay(s, skel, evs)
+	})
+}

@@ -1,0 +1,233 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 8), plus the ablations listed in DESIGN.md. Each
+// driver returns a Result that renders as aligned text or CSV; the
+// provbench command exposes them all.
+//
+// Absolute times differ from the paper (Go on modern Linux vs Java on a
+// 2.8GHz Pentium under Windows XP); the reproduced quantities are the
+// curve shapes: logarithmic label growth, linear construction time, flat
+// or decreasing query time, and the orderings and crossovers between
+// schemes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/plan"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// Config controls workload scale. The zero value is filled with defaults
+// by Normalize.
+type Config struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Sizes is the run-size sweep (vertices). Defaults to the paper's
+	// 0.1K..102.4K doubling sweep, or a reduced sweep under Quick.
+	Sizes []int
+	// Queries is the number of random reachability queries per
+	// measurement point (the paper uses 10⁶).
+	Queries int
+	// Quick caps sizes and query counts for smoke tests.
+	Quick bool
+}
+
+// Normalize fills defaults and returns the effective config.
+func (c Config) Normalize() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Sizes) == 0 {
+		if c.Quick {
+			c.Sizes = []int{100, 400, 1600, 6400}
+		} else {
+			c.Sizes = workload.RunSizes()
+		}
+	}
+	if c.Queries == 0 {
+		if c.Quick {
+			c.Queries = 20_000
+		} else {
+			c.Queries = 1_000_000
+		}
+	}
+	return c
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// WriteText renders the result as an aligned text table.
+func (r *Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the result as CSV (header row first).
+func (r *Result) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- shared measurement helpers ---
+
+// sizedRun is one generated run with its ground-truth plan.
+type sizedRun struct {
+	target int
+	r      *run.Run
+	truth  *plan.Plan
+}
+
+// makeRuns generates one run per requested size.
+func makeRuns(s *spec.Spec, sizes []int, seed int64) []sizedRun {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]sizedRun, 0, len(sizes))
+	for _, target := range sizes {
+		r, truth := run.GenerateSized(s, rng, target)
+		out = append(out, sizedRun{target: target, r: r, truth: truth})
+	}
+	return out
+}
+
+// timeIt measures fn, repeating until at least minDuration has elapsed,
+// and returns the mean duration per call.
+func timeIt(minDuration time.Duration, fn func()) time.Duration {
+	reps := 0
+	start := time.Now()
+	for {
+		fn()
+		reps++
+		if elapsed := time.Since(start); elapsed >= minDuration && reps >= 1 {
+			return elapsed / time.Duration(reps)
+		}
+		if reps >= 1000 {
+			return time.Since(start) / time.Duration(reps)
+		}
+	}
+}
+
+// queryNanos measures the mean time of one reachability query over q
+// random pairs against the given predicate.
+func queryNanos(rng *rand.Rand, n, q int, reachable func(u, v dag.VertexID) bool) float64 {
+	pairs := workload.QueryPairs(rng, n, min(q, 1<<16))
+	// Warm once.
+	for _, p := range pairs[:min(len(pairs), 128)] {
+		reachable(dag.VertexID(p[0]), dag.VertexID(p[1]))
+	}
+	total := 0
+	start := time.Now()
+	for total < q {
+		for _, p := range pairs {
+			reachable(dag.VertexID(p[0]), dag.VertexID(p[1]))
+			total++
+			if total >= q {
+				break
+			}
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(total)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// fmtMS renders a duration in milliseconds.
+func fmtMS(d time.Duration) string {
+	return fmtF(float64(d.Nanoseconds()) / 1e6)
+}
+
+// buildSKL labels a run with the given skeleton scheme, returning the
+// labeling, the skeleton build time and the run labeling time.
+func buildSKL(r *run.Run, scheme label.Scheme) (*core.Labeling, time.Duration, time.Duration, error) {
+	var skel label.Labeling
+	var err error
+	skelTime := timeIt(time.Millisecond, func() {
+		skel, err = scheme.Build(r.Spec.Graph)
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var l *core.Labeling
+	start := time.Now()
+	l, err = core.LabelRun(r, skel)
+	sklTime := time.Since(start)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return l, skelTime, sklTime, nil
+}
+
+// log2 of n as float.
+func log2(n int) float64 { return math.Log2(float64(n)) }

@@ -1,0 +1,183 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func quickCfg() experiments.Config {
+	return experiments.Config{
+		Seed:    7,
+		Quick:   true,
+		Sizes:   []int{100, 400, 1600},
+		Queries: 5_000,
+	}
+}
+
+func runExp(t *testing.T, name string) *experiments.Result {
+	t.Helper()
+	e, err := experiments.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(res.Rows) == 0 || len(res.Header) == 0 {
+		t.Fatalf("%s: empty result", name)
+	}
+	for _, row := range res.Rows {
+		if len(row) != len(res.Header) {
+			t.Fatalf("%s: row width %d != header width %d", name, len(row), len(res.Header))
+		}
+	}
+	return res
+}
+
+func cell(t *testing.T, res *experiments.Result, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(res.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, res.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res := runExp(t, e.Name)
+			var text, csv bytes.Buffer
+			if err := res.WriteText(&text); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.WriteCSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(text.String(), res.ID) {
+				t.Error("text output missing ID")
+			}
+			if len(strings.Split(strings.TrimSpace(csv.String()), "\n")) != len(res.Rows)+1 {
+				t.Error("csv row count wrong")
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := experiments.ByName("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res := runExp(t, "table1")
+	want := [][]string{
+		{"EBI", "29", "31", "4", "2"},
+		{"PubMed", "35", "45", "3", "3"},
+		{"QBLAST", "58", "72", "6", "3"},
+		{"BioAID", "71", "87", "10", "4"},
+		{"ProScan", "89", "119", "9", "4"},
+		{"ProDisc", "111", "158", "9", "3"},
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("row count %d", len(res.Rows))
+	}
+	for i, w := range want {
+		for j := range w {
+			if res.Rows[i][j] != w[j] {
+				t.Errorf("row %d col %d = %q, want %q", i, j, res.Rows[i][j], w[j])
+			}
+		}
+	}
+}
+
+// Figure 12's shape: max label length grows sub-linearly (roughly
+// logarithmically) and stays under 3·log2(nR) + log2(nG).
+func TestFig12Shape(t *testing.T) {
+	res := runExp(t, "fig12")
+	for i := range res.Rows {
+		nR := cell(t, res, i, 0)
+		maxBits := cell(t, res, i, 1)
+		avgBits := cell(t, res, i, 2)
+		bound := 3*log2ceil(int(nR)) + 6 // log2(58) < 6
+		if maxBits > float64(bound) {
+			t.Errorf("nR=%v: max %v exceeds bound %v", nR, maxBits, bound)
+		}
+		if avgBits > maxBits {
+			t.Errorf("nR=%v: avg %v > max %v", nR, avgBits, maxBits)
+		}
+	}
+	// Growth from first to last should be a few bits, not a factor.
+	first, last := cell(t, res, 0, 1), cell(t, res, len(res.Rows)-1, 1)
+	if last > 2.5*first {
+		t.Errorf("label length not logarithmic: %v -> %v", first, last)
+	}
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for x := n - 1; x > 0; x >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Figure 17's shape at quick scale: TCM+SKL beats direct BFS by a wide
+// margin on the largest run.
+func TestFig17Shape(t *testing.T) {
+	res := runExp(t, "fig17")
+	lastRow := len(res.Rows) - 1
+	tcmSkl := cell(t, res, lastRow, 1)
+	bfsDirect := cell(t, res, lastRow, 4)
+	if bfsDirect < 5*tcmSkl {
+		t.Errorf("BFS direct (%v ns) should trail TCM+SKL (%v ns) by a wide margin", bfsDirect, tcmSkl)
+	}
+}
+
+// Section 7's table shape: 6 workflows × 7 schemes; TCM carries the
+// largest index, BFS/DFS none.
+func TestSchemesTableShape(t *testing.T) {
+	res := runExp(t, "schemes")
+	if len(res.Rows) != 6*7 {
+		t.Fatalf("rows = %d, want 42", len(res.Rows))
+	}
+	perWorkflow := make(map[string]map[string]float64)
+	for i := range res.Rows {
+		wf, scheme := res.Rows[i][0], res.Rows[i][1]
+		if perWorkflow[wf] == nil {
+			perWorkflow[wf] = make(map[string]float64)
+		}
+		perWorkflow[wf][scheme] = cell(t, res, i, 2)
+	}
+	for wf, bits := range perWorkflow {
+		if bits["BFS"] != 0 || bits["DFS"] != 0 {
+			t.Errorf("%s: search schemes should have zero index", wf)
+		}
+		for scheme, b := range bits {
+			if scheme == "TCM" || scheme == "BFS" || scheme == "DFS" {
+				continue
+			}
+			if b <= 0 {
+				t.Errorf("%s/%s: index bits %v should be positive", wf, scheme, b)
+			}
+		}
+	}
+}
+
+// Ablation A2's shape: the context-only share is monotone-ish increasing
+// from the smallest to the largest run.
+func TestContextShareIncreases(t *testing.T) {
+	res := runExp(t, "ablation-context")
+	first := cell(t, res, 0, 1)
+	last := cell(t, res, len(res.Rows)-1, 1)
+	if last <= first {
+		t.Errorf("context-only share should grow: %v -> %v", first, last)
+	}
+}

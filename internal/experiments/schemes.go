@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/workload"
+)
+
+// SpecSchemes regenerates the Section 7 trade-off discussion as a table:
+// every available specification labeling scheme applied to every Table-1
+// workflow, reporting index size, construction time and query time on
+// the specification itself. TCM and BFS are the paper's two extremes
+// ("an expensive encoding and decoding step respectively"); the index
+// families in between show the trade-off the paper's related work
+// surveys.
+func SpecSchemes(cfg Config) (*Result, error) {
+	cfg = cfg.Normalize()
+	res := &Result{
+		ID:     "Section 7",
+		Title:  "Specification labeling schemes across the Table-1 workflows",
+		Header: []string{"workflow", "scheme", "index bits", "build", "query ns"},
+		Notes: []string{
+			"TCM: maximal index, O(1) queries; BFS/DFS: no index, linear queries; the others trade between them",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 21))
+	for _, w := range workload.RealWorkflows() {
+		s, err := workload.StandIn(w.Name, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		n := s.NumVertices()
+		for _, scheme := range label.All() {
+			var l label.Labeling
+			build := timeIt(time.Millisecond, func() {
+				var err2 error
+				l, err2 = scheme.Build(s.Graph)
+				if err2 != nil {
+					panic(err2)
+				}
+			})
+			q := min(cfg.Queries, 50_000)
+			ns := queryNanos(rng, n, q, func(u, v dag.VertexID) bool { return l.Reachable(u, v) })
+			res.Rows = append(res.Rows, []string{
+				w.Name, scheme.Name(),
+				fmt.Sprint(l.IndexBits()),
+				build.Round(time.Microsecond).String(),
+				fmtF(ns),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/workload"
+)
+
+// Table1 regenerates Table 1: characteristics of the six real-life
+// scientific workflows (stand-ins with exactly the published parameters).
+func Table1(cfg Config) (*Result, error) {
+	cfg = cfg.Normalize()
+	res := &Result{
+		ID:     "Table 1",
+		Title:  "Characteristics of real-life scientific workflows (synthesized stand-ins)",
+		Header: []string{"workflow", "nG", "mG", "|TG|", "[TG]"},
+		Notes: []string{
+			"stand-ins synthesized to the exact published parameters (see DESIGN.md substitution note)",
+		},
+	}
+	for _, w := range workload.RealWorkflows() {
+		s, err := workload.StandIn(w.Name, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			w.Name,
+			fmt.Sprint(s.NumVertices()),
+			fmt.Sprint(s.NumEdges()),
+			fmt.Sprint(s.Hier.NumNodes()),
+			fmt.Sprint(s.Hier.MaxDepth),
+		})
+	}
+	return res, nil
+}
+
+// Table2 regenerates Table 2: the complexity comparison with amortized
+// cost, as formulas plus an empirical spot check at one run size.
+func Table2(cfg Config) (*Result, error) {
+	cfg = cfg.Normalize()
+	res := &Result{
+		ID:    "Table 2",
+		Title: "Complexity comparison (with amortized cost over k runs)",
+		Header: []string{
+			"scheme", "label length (bits)", "construction time", "query time",
+		},
+		Rows: [][]string{
+			{"TCM+SKL", "3 log nR + log nG + nG²/(k·nR)", "O(mR + nR + mG·nG/k)", "O(1)"},
+			{"BFS+SKL", "3 log nR + log nG", "O(mR + nR)", "O(mG + nG)"},
+			{"TCM", "nR", "O(mR × nR)", "O(1)"},
+			{"BFS", "0", "0", "O(mR + nR)"},
+		},
+	}
+	// Empirical spot check: one synthetic workload at a mid-size run.
+	s, err := workload.Synthesize(rand.New(rand.NewSource(cfg.Seed)), workload.Params{
+		NG: 100, MG: 200, TGSize: 10, TGDepth: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	target := cfg.Sizes[len(cfg.Sizes)/2]
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	r, _ := run.GenerateSized(s, rng, target)
+	nR := r.NumVertices()
+	q := min(cfg.Queries, 200_000)
+
+	l, skelT, sklT, err := buildSKL(r, label.TCM{})
+	if err != nil {
+		return nil, err
+	}
+	tcmSklQ := queryNanos(rng, nR, q, l.Reachable)
+	lb, _, sklTB, err := buildSKL(r, label.BFS{})
+	if err != nil {
+		return nil, err
+	}
+	bfsSklQ := queryNanos(rng, nR, min(q, 50_000), lb.Reachable)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("measured at nR=%d (nG=100, mG=200): TCM+SKL %d bits max, build %v(spec)+%v(run), %.0f ns/query",
+			nR, l.MaxLabelBits(), skelT.Round(time.Microsecond), sklT.Round(time.Microsecond), tcmSklQ),
+		fmt.Sprintf("BFS+SKL: %d bits max, build %v, %.0f ns/query",
+			lb.MaxLabelBits(), sklTB.Round(time.Microsecond), bfsSklQ),
+	)
+	// Direct schemes on the run, kept small enough to be tractable.
+	if nR <= 30_000 {
+		start := time.Now()
+		closure, ok := r.Graph.TransitiveClosure()
+		tcmBuild := time.Since(start)
+		if ok {
+			tcmQ := queryNanos(rng, nR, q, closure.Reachable)
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"TCM on the run: %d bits/vertex, build %v, %.0f ns/query", nR, tcmBuild.Round(time.Microsecond), tcmQ))
+		}
+		searcher := dag.NewSearcher(r.Graph)
+		bfsQ := queryNanos(rng, nR, min(q, 2_000), searcher.ReachableBFS)
+		res.Notes = append(res.Notes, fmt.Sprintf("BFS on the run: 0 bits, %.0f ns/query", bfsQ))
+	}
+	return res, nil
+}
+
+// compile-time interface checks for the measurement plumbing.
+var _ = core.Label{}

@@ -1,0 +1,82 @@
+package export_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/export"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+func TestSpecDOT(t *testing.T) {
+	s := spec.PaperSpec()
+	var buf bytes.Buffer
+	if err := export.SpecDOT(&buf, s, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"paper\"",
+		"cluster_f",      // fork clusters
+		"label=loop",     // loop back-edges
+		`"a" -> "b"`,     // real edges
+		`"c" -> "b" [st`, // the L1 back-edge c -> b
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec DOT missing %q\n%s", want, out)
+		}
+	}
+	// Every module appears exactly once as a node declaration (a line
+	// consisting solely of the quoted name).
+	decls := make(map[string]int)
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, `"`) && strings.HasSuffix(trimmed, `";`) && !strings.Contains(trimmed, "->") {
+			decls[strings.Trim(trimmed, `";`)]++
+		}
+	}
+	for _, m := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if decls[m] != 1 {
+			t.Errorf("module %s declared %d times", m, decls[m])
+		}
+	}
+}
+
+func TestRunAndPlanDOT(t *testing.T) {
+	s := spec.PaperSpec()
+	r, p := run.Figure3Run(s)
+	var buf bytes.Buffer
+	if err := export.RunDOT(&buf, r, p, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"b1"`, `"c3"`, `"f2"`, "lightblue", "lightyellow", "lightgray"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run DOT missing %q", want)
+		}
+	}
+	// Without a plan: no coloring.
+	buf.Reset()
+	if err := export.RunDOT(&buf, r, nil, "bare"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fillcolor") {
+		t.Error("bare run DOT should not color vertices")
+	}
+	buf.Reset()
+	if err := export.PlanDOT(&buf, p, "plan"); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "shape=box") || !strings.Contains(out, "shape=circle") {
+		t.Error("plan DOT should mix + circles and − boxes")
+	}
+	if !strings.Contains(out, `label="then"`) {
+		t.Error("plan DOT should mark serial loop order")
+	}
+	if strings.Count(out, " -> ") != len(p.Nodes)-1 {
+		t.Errorf("plan DOT should have exactly |V|-1 tree edges")
+	}
+}

@@ -1,0 +1,98 @@
+package label
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Chain is the chain-decomposition scheme of Jagadish (TODS 1990): the DAG
+// is covered by a set of chains (paths), and each vertex stores, per
+// chain, the earliest chain position it can reach. A query then compares
+// one stored position against the target's position in its own chain.
+//
+// The decomposition here is greedy rather than minimum (the paper's survey
+// point stands either way): each vertex extends an existing chain whose
+// current tail is one of its predecessors, if any, else starts a new chain.
+type Chain struct{}
+
+// Name implements Scheme.
+func (Chain) Name() string { return "Chain" }
+
+// Build implements Scheme.
+func (Chain) Build(g *dag.Graph) (Labeling, error) {
+	topo, ok := g.TopoSort()
+	if !ok {
+		return nil, fmt.Errorf("label: Chain requires an acyclic graph")
+	}
+	n := g.NumVertices()
+	chainOf := make([]int32, n)
+	posIn := make([]int32, n)
+	tailOf := []dag.VertexID{} // current tail vertex per chain
+	isTail := make([]bool, n)
+	for i := range chainOf {
+		chainOf[i] = -1
+	}
+	for _, v := range topo {
+		extended := false
+		for _, u := range g.In(v) {
+			if isTail[u] {
+				c := chainOf[u]
+				chainOf[v] = c
+				posIn[v] = posIn[u] + 1
+				isTail[u] = false
+				isTail[v] = true
+				tailOf[c] = v
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			c := int32(len(tailOf))
+			chainOf[v] = c
+			posIn[v] = 0
+			tailOf = append(tailOf, v)
+			isTail[v] = true
+		}
+	}
+	k := len(tailOf)
+	const inf = int32(1<<31 - 1)
+	// reach[v*k+c] = earliest position on chain c reachable from v.
+	reach := make([]int32, n*k)
+	for i := range reach {
+		reach[i] = inf
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := topo[i]
+		row := reach[int(v)*k : int(v)*k+k]
+		row[chainOf[v]] = posIn[v]
+		for _, w := range g.Out(v) {
+			wrow := reach[int(w)*k : int(w)*k+k]
+			for c := 0; c < k; c++ {
+				if wrow[c] < row[c] {
+					row[c] = wrow[c]
+				}
+			}
+		}
+	}
+	return &chainLabeling{k: k, chainOf: chainOf, posIn: posIn, reach: reach}, nil
+}
+
+type chainLabeling struct {
+	k       int
+	chainOf []int32
+	posIn   []int32
+	reach   []int32
+}
+
+func (l *chainLabeling) Reachable(u, v dag.VertexID) bool {
+	return l.reach[int(u)*l.k+int(l.chainOf[v])] <= l.posIn[v]
+}
+
+func (l *chainLabeling) IndexBits() int64 {
+	// One 32-bit position per (vertex, chain) pair plus the per-vertex
+	// chain id and position.
+	return int64(len(l.reach))*32 + int64(len(l.chainOf))*64
+}
+
+func (l *chainLabeling) Scheme() string { return "Chain" }

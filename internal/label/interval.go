@@ -1,0 +1,130 @@
+package label
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// Interval is the tree-cover interval scheme of Agrawal, Borgida and
+// Jagadish (SIGMOD 1989), one of the classic DAG reachability indexes the
+// paper surveys: a spanning forest is numbered in postorder, every vertex
+// carries its subtree interval, and non-tree reachability is folded in by
+// propagating interval sets in reverse topological order.
+type Interval struct{}
+
+// Name implements Scheme.
+func (Interval) Name() string { return "Interval" }
+
+// Build implements Scheme.
+func (Interval) Build(g *dag.Graph) (Labeling, error) {
+	topo, ok := g.TopoSort()
+	if !ok {
+		return nil, fmt.Errorf("label: Interval requires an acyclic graph")
+	}
+	n := g.NumVertices()
+	// Spanning forest: the tree parent of v is its first predecessor in
+	// topological order (any choice yields a valid cover).
+	parent := make([]dag.VertexID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	children := make([][]dag.VertexID, n)
+	for _, v := range topo {
+		if ins := g.In(v); len(ins) > 0 {
+			parent[v] = ins[0]
+			children[ins[0]] = append(children[ins[0]], v)
+		}
+	}
+	// Postorder numbering over the forest (roots in topo order).
+	post := make([]int32, n)
+	counter := int32(0)
+	var number func(v dag.VertexID)
+	number = func(v dag.VertexID) {
+		for _, c := range children[v] {
+			number(c)
+		}
+		counter++
+		post[v] = counter
+	}
+	for _, v := range topo {
+		if parent[v] == -1 {
+			number(v)
+		}
+	}
+	// low[v] = smallest postorder in v's subtree; the tree interval of v
+	// is [low[v], post[v]].
+	low := make([]int32, n)
+	var computeLow func(v dag.VertexID) int32
+	computeLow = func(v dag.VertexID) int32 {
+		lo := post[v]
+		for _, c := range children[v] {
+			if l := computeLow(c); l < lo {
+				lo = l
+			}
+		}
+		low[v] = lo
+		return lo
+	}
+	for _, v := range topo {
+		if parent[v] == -1 {
+			computeLow(v)
+		}
+	}
+	// Propagate interval sets in reverse topological order.
+	ivs := make([][]ival, n)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		set := []ival{{low[v], post[v]}}
+		for _, w := range g.Out(v) {
+			set = append(set, ivs[w]...)
+		}
+		ivs[v] = normalize(set)
+	}
+	bits := int64(0)
+	for _, set := range ivs {
+		bits += int64(len(set)) * 64 // two 32-bit endpoints per interval
+	}
+	return &intervalLabeling{post: post, ivs: ivs, bits: bits}, nil
+}
+
+// ival is a closed interval of postorder numbers.
+type ival struct{ lo, hi int32 }
+
+// normalize sorts and merges overlapping or adjacent intervals.
+func normalize(set []ival) []ival {
+	if len(set) <= 1 {
+		return set
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i].lo < set[j].lo })
+	out := set[:1]
+	for _, iv := range set[1:] {
+		lastIdx := len(out) - 1
+		if iv.lo <= out[lastIdx].hi+1 {
+			if iv.hi > out[lastIdx].hi {
+				out[lastIdx].hi = iv.hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return append([]ival(nil), out...)
+}
+
+type intervalLabeling struct {
+	post []int32
+	ivs  [][]ival
+	bits int64
+}
+
+func (l *intervalLabeling) Reachable(u, v dag.VertexID) bool {
+	p := l.post[v]
+	set := l.ivs[u]
+	// Binary search for the interval containing p.
+	i := sort.Search(len(set), func(i int) bool { return set[i].hi >= p })
+	return i < len(set) && set[i].lo <= p
+}
+
+func (l *intervalLabeling) IndexBits() int64 { return l.bits }
+func (l *intervalLabeling) Scheme() string   { return "Interval" }

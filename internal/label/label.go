@@ -1,0 +1,147 @@
+// Package label defines the reachability labeling scheme interface
+// (Definition 7) and the schemes used to label specifications: the two the
+// paper evaluates — TCM (precomputed transitive closure matrix) and
+// BFS/DFS (search at query time) — plus two classic index families
+// (interval tree cover and chain decomposition) used to substantiate the
+// claim that the skeleton-based scheme is robust to the choice of
+// specification labeling (Sections 7 and 8.2).
+package label
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dag"
+)
+
+// Labeling answers reachability queries over one fixed graph. Reachable
+// must treat every vertex as reaching itself.
+type Labeling interface {
+	// Reachable reports whether v is reachable from u.
+	Reachable(u, v dag.VertexID) bool
+	// IndexBits is the total size of the labeling's stored labels in bits
+	// (0 for schemes that answer queries by searching the graph).
+	IndexBits() int64
+	// Scheme names the scheme that produced this labeling.
+	Scheme() string
+}
+
+// Scheme constructs Labelings for graphs (the labeling function φ of
+// Definition 7).
+type Scheme interface {
+	// Name identifies the scheme (e.g. "TCM", "BFS").
+	Name() string
+	// Build labels the graph. The graph must be a DAG.
+	Build(g *dag.Graph) (Labeling, error)
+}
+
+// ByName returns the scheme with the given name. Recognized names are
+// "TCM", "BFS", "DFS", "Interval", "Chain", "2-Hop" and "Dual".
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "TCM":
+		return TCM{}, nil
+	case "BFS":
+		return BFS{}, nil
+	case "DFS":
+		return DFS{}, nil
+	case "Interval":
+		return Interval{}, nil
+	case "Chain":
+		return Chain{}, nil
+	case "2-Hop", "TwoHop":
+		return TwoHop{}, nil
+	case "Dual":
+		return Dual{}, nil
+	}
+	return nil, fmt.Errorf("label: unknown scheme %q", name)
+}
+
+// All returns every available scheme, in a fixed order.
+func All() []Scheme {
+	return []Scheme{TCM{}, BFS{}, DFS{}, Interval{}, Chain{}, TwoHop{}, Dual{}}
+}
+
+// TCM is the transitive-closure-matrix scheme of Section 7: the label of
+// vertex i is row i of the closure matrix. Queries are O(1); labels total
+// n² bits and construction costs O(n·m/64).
+type TCM struct{}
+
+// Name implements Scheme.
+func (TCM) Name() string { return "TCM" }
+
+// Build implements Scheme.
+func (TCM) Build(g *dag.Graph) (Labeling, error) {
+	c, ok := g.TransitiveClosure()
+	if !ok {
+		return nil, fmt.Errorf("label: TCM requires an acyclic graph")
+	}
+	return &tcmLabeling{c: c, n: g.NumVertices()}, nil
+}
+
+type tcmLabeling struct {
+	c *dag.Closure
+	n int
+}
+
+func (l *tcmLabeling) Reachable(u, v dag.VertexID) bool { return l.c.Reachable(u, v) }
+func (l *tcmLabeling) IndexBits() int64                 { return int64(l.n) * int64(l.n) }
+func (l *tcmLabeling) Scheme() string                   { return "TCM" }
+
+// BFS is the search-at-query-time scheme of Section 7: no labels are
+// stored and each query runs a breadth-first search over the graph.
+type BFS struct{}
+
+// Name implements Scheme.
+func (BFS) Name() string { return "BFS" }
+
+// Build implements Scheme.
+func (BFS) Build(g *dag.Graph) (Labeling, error) {
+	return newSearchLabeling(g, false), nil
+}
+
+// DFS is like BFS but searches depth-first.
+type DFS struct{}
+
+// Name implements Scheme.
+func (DFS) Name() string { return "DFS" }
+
+// Build implements Scheme.
+func (DFS) Build(g *dag.Graph) (Labeling, error) {
+	return newSearchLabeling(g, true), nil
+}
+
+// searchLabeling answers queries by graph search. Searchers carry
+// per-query scratch state, so a pool hands each goroutine its own —
+// labelings (like all Labelings in this package) are safe for concurrent
+// queries.
+type searchLabeling struct {
+	g    *dag.Graph
+	pool sync.Pool
+	dfs  bool
+}
+
+func newSearchLabeling(g *dag.Graph, dfs bool) *searchLabeling {
+	l := &searchLabeling{g: g, dfs: dfs}
+	l.pool.New = func() any { return dag.NewSearcher(g) }
+	return l
+}
+
+func (l *searchLabeling) Reachable(u, v dag.VertexID) bool {
+	s := l.pool.Get().(*dag.Searcher)
+	var ok bool
+	if l.dfs {
+		ok = s.ReachableDFS(u, v)
+	} else {
+		ok = s.ReachableBFS(u, v)
+	}
+	l.pool.Put(s)
+	return ok
+}
+func (l *searchLabeling) IndexBits() int64 { return 0 }
+func (l *searchLabeling) Scheme() string {
+	if l.dfs {
+		return "DFS"
+	}
+	return "BFS"
+}

@@ -1,0 +1,139 @@
+package label
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+)
+
+// TwoHop is the 2-hop cover scheme of Cohen, Halperin, Kaplan and Zwick
+// (SODA 2002), the third index family the paper surveys: each vertex u
+// stores an out-hop set Lout(u) ⊆ descendants(u) and an in-hop set
+// Lin(u) ⊆ ancestors(u) such that u reaches v iff Lout(u) ∩ Lin(v) ≠ ∅.
+//
+// The cover is built with the classic greedy set-cover heuristic: pick
+// the hop vertex whose ancestor×descendant star covers the most not-yet-
+// covered reachable pairs, charge it to the labels, repeat until every
+// reachable pair is covered. Specifications are small, so the O(n³/64)
+// greedy is perfectly affordable.
+type TwoHop struct{}
+
+// Name implements Scheme.
+func (TwoHop) Name() string { return "2-Hop" }
+
+// Build implements Scheme.
+func (TwoHop) Build(g *dag.Graph) (Labeling, error) {
+	closure, ok := g.TransitiveClosure()
+	if !ok {
+		return nil, fmt.Errorf("label: 2-Hop requires an acyclic graph")
+	}
+	n := g.NumVertices()
+	// desc[w] includes w; anc[w] includes w (reflexive star centers).
+	desc := make([]*bitset.Set, n)
+	anc := make([]*bitset.Set, n)
+	for w := 0; w < n; w++ {
+		desc[w] = closure.Row(dag.VertexID(w))
+		anc[w] = bitset.New(n)
+	}
+	for u := 0; u < n; u++ {
+		desc[u].ForEach(func(v int) { anc[v].Set(u) })
+	}
+	// uncovered[u] = strict descendants of u not yet covered by any hop.
+	uncovered := make([]*bitset.Set, n)
+	remaining := 0
+	for u := 0; u < n; u++ {
+		uncovered[u] = desc[u].Clone()
+		uncovered[u].Clear(u)
+		remaining += uncovered[u].Count()
+	}
+	lout := make([][]int32, n)
+	lin := make([][]int32, n)
+	for remaining > 0 {
+		// Greedy: hop w maximizing newly covered pairs in anc(w)×desc(w).
+		bestW, bestGain := -1, 0
+		for w := 0; w < n; w++ {
+			gain := 0
+			anc[w].ForEach(func(u int) {
+				tmp := uncovered[u].Clone()
+				tmp.And(desc[w])
+				gain += tmp.Count()
+			})
+			if gain > bestGain {
+				bestW, bestGain = w, gain
+			}
+		}
+		if bestW < 0 {
+			return nil, fmt.Errorf("label: 2-Hop greedy stalled with %d pairs uncovered", remaining)
+		}
+		w := bestW
+		anc[w].ForEach(func(u int) {
+			tmp := uncovered[u].Clone()
+			tmp.And(desc[w])
+			if c := tmp.Count(); c > 0 {
+				lout[u] = append(lout[u], int32(w))
+				remaining -= c
+				negAnd(uncovered[u], desc[w]) // mark anc(w)×desc(w) pairs covered
+			}
+		})
+		desc[w].ForEach(func(v int) {
+			lin[v] = append(lin[v], int32(w))
+		})
+	}
+	// Guarantee reflexivity and sort hop lists for merge-intersection.
+	bits := int64(0)
+	for u := 0; u < n; u++ {
+		lout[u] = append(lout[u], int32(u))
+		lin[u] = append(lin[u], int32(u))
+		lout[u] = dedupSort(lout[u])
+		lin[u] = dedupSort(lin[u])
+		bits += int64(len(lout[u])+len(lin[u])) * 32
+	}
+	return &twoHopLabeling{lout: lout, lin: lin, bits: bits}, nil
+}
+
+// negAnd clears from a every bit set in b (a &^= b).
+func negAnd(a, b *bitset.Set) {
+	b.ForEach(func(i int) {
+		if a.Test(i) {
+			a.Clear(i)
+		}
+	})
+}
+
+func dedupSort(s []int32) []int32 {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 0
+	for i, v := range s {
+		if i == 0 || v != s[w-1] {
+			s[w] = v
+			w++
+		}
+	}
+	return s[:w]
+}
+
+type twoHopLabeling struct {
+	lout, lin [][]int32
+	bits      int64
+}
+
+func (l *twoHopLabeling) Reachable(u, v dag.VertexID) bool {
+	a, b := l.lout[u], l.lin[v]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+func (l *twoHopLabeling) IndexBits() int64 { return l.bits }
+func (l *twoHopLabeling) Scheme() string   { return "2-Hop" }

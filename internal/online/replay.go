@@ -1,0 +1,52 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/plan"
+	"repro/internal/spec"
+)
+
+// ReplayPlan drives a Labeler from an existing execution plan and origin
+// vector (e.g. extracted from a workflow engine's log, as the paper notes
+// Taverna permits): every copy is started in plan order and every vertex
+// registered with its context. Run vertex IDs are preserved.
+func ReplayPlan(s *spec.Spec, skeleton label.Labeling, p *plan.Plan, origins []dag.VertexID) (*Labeler, error) {
+	if len(origins) != len(p.Context) {
+		return nil, fmt.Errorf("online: %d origins for %d contexts", len(origins), len(p.Context))
+	}
+	l := New(s, skeleton)
+	copies := make(map[*plan.Node]*Copy, len(p.Nodes))
+	copies[p.Root] = l.Root()
+	var walk func(n *plan.Node, c *Copy) error
+	walk = func(n *plan.Node, c *Copy) error {
+		for _, minus := range n.Children { // − nodes: sites
+			for _, plusChild := range minus.Children {
+				cc, err := l.StartCopy(c, plusChild.HNode)
+				if err != nil {
+					return err
+				}
+				copies[plusChild] = cc
+				if err := walk(plusChild, cc); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Root, l.Root()); err != nil {
+		return nil, err
+	}
+	for v, ctx := range p.Context {
+		c, ok := copies[ctx]
+		if !ok {
+			return nil, fmt.Errorf("online: vertex %d has unknown context", v)
+		}
+		if _, err := l.AddExec(c, origins[v]); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,181 @@
+package order_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/order"
+	"repro/internal/plan"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// lca returns the least common ancestor of two plan nodes.
+func lca(a, b *plan.Node) *plan.Node {
+	depth := func(n *plan.Node) int {
+		d := 0
+		for x := n; x.Parent != nil; x = x.Parent {
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+func TestGeneratePositionsAreDenseAndConsistent(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(1))
+	et := run.RandomExecSteps(s, rng, 20)
+	_, p := run.MustMaterialize(s, et)
+	o := order.Generate(p)
+	nonEmpty := p.NonEmptyPlus()
+	if o.NumPositioned != len(nonEmpty) {
+		t.Fatalf("NumPositioned = %d, want %d", o.NumPositioned, len(nonEmpty))
+	}
+	for _, pos := range [][]uint32{o.Pos1, o.Pos2, o.Pos3} {
+		seen := make(map[uint32]bool)
+		count := 0
+		for _, n := range p.Nodes {
+			q := pos[n.ID]
+			if q == 0 {
+				continue
+			}
+			if !n.Plus {
+				t.Fatal("− node received a position")
+			}
+			if seen[q] {
+				t.Fatalf("duplicate position %d", q)
+			}
+			seen[q] = true
+			count++
+			if q > uint32(o.NumPositioned) {
+				t.Fatalf("position %d exceeds n+T %d", q, o.NumPositioned)
+			}
+		}
+		if count != o.NumPositioned {
+			t.Fatalf("order covers %d nodes, want %d", count, o.NumPositioned)
+		}
+	}
+}
+
+// TestLemma45 verifies all three rules of Lemma 4.5 exhaustively: for
+// every pair of nonempty + nodes, the order comparison classifies their
+// true least common ancestor correctly, including the serial direction
+// for loops.
+func TestLemma45(t *testing.T) {
+	specs := []*spec.Spec{spec.PaperSpec(), spec.IntroSpec()}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		s := specs[trial%len(specs)]
+		et := run.RandomExecSteps(s, rng, 5+rng.Intn(30))
+		_, p := run.MustMaterialize(s, et)
+		o := order.Generate(p)
+		nodes := p.NonEmptyPlus()
+		// Precompute each node's position among its L− parent's children
+		// for direction checking.
+		for _, x := range nodes {
+			for _, y := range nodes {
+				if x == y {
+					continue
+				}
+				got := order.Classify(
+					o.Pos1[x.ID], o.Pos2[x.ID], o.Pos3[x.ID],
+					o.Pos1[y.ID], o.Pos2[y.ID], o.Pos3[y.ID])
+				anc := lca(x, y)
+				switch {
+				case anc.Plus:
+					if got != order.PlusAncestor {
+						t.Fatalf("LCA is +, classified %v", got)
+					}
+				case p.KindOf(anc) == spec.Fork:
+					if got != order.ForkMinus {
+						t.Fatalf("LCA is F−, classified %v", got)
+					}
+				default: // L− ancestor: direction must match child order
+					xi, yi := childIndexUnder(anc, x), childIndexUnder(anc, y)
+					want := order.LoopMinusForward
+					if xi > yi {
+						want = order.LoopMinusBackward
+					}
+					if got != want {
+						t.Fatalf("LCA is L− (indices %d,%d), classified %v want %v", xi, yi, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// childIndexUnder returns the index of the child of anc on the path from
+// anc down to n.
+func childIndexUnder(anc, n *plan.Node) int {
+	x := n
+	for x.Parent != anc {
+		x = x.Parent
+	}
+	for i, c := range anc.Children {
+		if c == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestClassifySameContext(t *testing.T) {
+	if order.Classify(3, 5, 7, 3, 5, 7) != order.SameContext {
+		t.Error("identical triples should classify as SameContext")
+	}
+}
+
+// Property: classification is antisymmetric — swapping the arguments maps
+// forward to backward and leaves fork/plus classifications fixed.
+func TestQuickClassifyAntisymmetric(t *testing.T) {
+	s := spec.PaperSpec()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		et := run.RandomExecSteps(s, rng, rng.Intn(40))
+		_, p := run.MustMaterialize(s, et)
+		o := order.Generate(p)
+		nodes := p.NonEmptyPlus()
+		for q := 0; q < 200; q++ {
+			x := nodes[rng.Intn(len(nodes))]
+			y := nodes[rng.Intn(len(nodes))]
+			ab := order.Classify(o.Pos1[x.ID], o.Pos2[x.ID], o.Pos3[x.ID], o.Pos1[y.ID], o.Pos2[y.ID], o.Pos3[y.ID])
+			ba := order.Classify(o.Pos1[y.ID], o.Pos2[y.ID], o.Pos3[y.ID], o.Pos1[x.ID], o.Pos2[x.ID], o.Pos3[x.ID])
+			ok := false
+			switch ab {
+			case order.SameContext:
+				ok = ba == order.SameContext
+			case order.ForkMinus:
+				ok = ba == order.ForkMinus
+			case order.PlusAncestor:
+				ok = ba == order.PlusAncestor
+			case order.LoopMinusForward:
+				ok = ba == order.LoopMinusBackward
+			case order.LoopMinusBackward:
+				ok = ba == order.LoopMinusForward
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

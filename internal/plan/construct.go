@@ -1,0 +1,452 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/spec"
+)
+
+// Construct recovers the execution plan T_R and the context function of a
+// run from its graph and origin function alone, implementing the
+// ComputeContext / SearchNodes algorithms of Section 5.
+//
+// The algorithm processes the fork-and-loop hierarchy bottom-up. At each
+// level it locates every copy of every subgraph from a designated "leader"
+// seed edge, explores the copy with an undirected DFS pruned at the copy's
+// terminals, collapses the copy to a special edge, and then groups
+// parallel fork copies (shared endpoints) under an F− node and serial loop
+// chains (linked by connector edges) under an ordered L− node. Each edge
+// is visited a constant number of times, so construction is O(m + n).
+//
+// Construct returns an error if the graph does not conform to the
+// specification's fork/loop structure.
+func Construct(s *spec.Spec, g *dag.Graph, origin []dag.VertexID) (*Plan, error) {
+	if len(origin) != g.NumVertices() {
+		return nil, fmt.Errorf("plan: %d origins for %d vertices", len(origin), g.NumVertices())
+	}
+	c := newConstructor(s, g, origin)
+	return c.run()
+}
+
+// workEdge is an edge of the progressively collapsed run graph.
+type workEdge struct {
+	tail, head dag.VertexID
+	deleted    bool
+	collected  bool
+	// copyPlus is set on the special edge standing for one collapsed copy
+	// (between the collapse and grouping steps of a level).
+	copyPlus *Node
+	// group is set on the special edge standing for all copies at a site.
+	group *Node
+	// hnode is the hierarchy node of the collapse (0 for original edges).
+	hnode int
+	// leaderFor is the hierarchy node this group edge seeds, or -1.
+	leaderFor int
+}
+
+type constructor struct {
+	s      *spec.Spec
+	g      *dag.Graph
+	origin []dag.VertexID
+
+	p   *Plan
+	out [][]*workEdge
+	in  [][]*workEdge
+
+	// member[h] marks the specification vertices in V(H) of hierarchy
+	// node h (all vertices for the root).
+	member []*bitset.Set
+	// leaderChild[h] is the child hierarchy node designated as leader for
+	// internal node h, or 0.
+	leaderChild []int
+	// seeds[h] collects the seed edges for copies of hierarchy node h.
+	seeds [][]*workEdge
+
+	// DFS scratch.
+	visited  []uint32
+	gen      uint32
+	frontier []dag.VertexID
+}
+
+func newConstructor(s *spec.Spec, g *dag.Graph, origin []dag.VertexID) *constructor {
+	n := g.NumVertices()
+	c := &constructor{
+		s:       s,
+		g:       g,
+		origin:  origin,
+		p:       &Plan{Spec: s, Context: make([]*Node, n)},
+		out:     make([][]*workEdge, n),
+		in:      make([][]*workEdge, n),
+		seeds:   make([][]*workEdge, s.Hier.NumNodes()),
+		visited: make([]uint32, n),
+	}
+	for _, e := range g.Edges() {
+		we := &workEdge{tail: e.Tail, head: e.Head, leaderFor: -1}
+		c.out[e.Tail] = append(c.out[e.Tail], we)
+		c.in[e.Head] = append(c.in[e.Head], we)
+	}
+	nSpec := s.Graph.NumVertices()
+	c.member = make([]*bitset.Set, s.Hier.NumNodes())
+	all := bitset.New(nSpec)
+	for v := 0; v < nSpec; v++ {
+		all.Set(v)
+	}
+	c.member[0] = all
+	for i, sub := range s.Subgraphs {
+		b := bitset.New(nSpec)
+		for _, v := range sub.Vertices {
+			b.Set(int(v))
+		}
+		c.member[i+1] = b
+	}
+	c.leaderChild = make([]int, s.Hier.NumNodes())
+	for h := 0; h < s.Hier.NumNodes(); h++ {
+		if kids := s.Hier.Children[h]; len(kids) > 0 {
+			c.leaderChild[h] = kids[0]
+		}
+	}
+	return c
+}
+
+// newDetached creates a plan node without linking it to a parent.
+func (c *constructor) newDetached(plus bool, hnode int) *Node {
+	n := &Node{ID: len(c.p.Nodes), Plus: plus, HNode: hnode}
+	c.p.Nodes = append(c.p.Nodes, n)
+	return n
+}
+
+func link(parent, child *Node) {
+	child.Parent = parent
+	parent.Children = append(parent.Children, child)
+}
+
+func (c *constructor) addEdge(we *workEdge) {
+	c.out[we.tail] = append(c.out[we.tail], we)
+	c.in[we.head] = append(c.in[we.head], we)
+}
+
+// compactIter invokes fn on each live edge of list, removing deleted edges
+// as it goes, and returns the compacted list.
+func compactIter(list []*workEdge, fn func(*workEdge)) []*workEdge {
+	w := 0
+	for _, e := range list {
+		if e.deleted {
+			continue
+		}
+		list[w] = e
+		w++
+		fn(e)
+	}
+	return list[:w]
+}
+
+func (c *constructor) run() (*Plan, error) {
+	// Initial scan: seeds for every leaf subgraph are the run edges whose
+	// origin pair equals the leaf's designated leader edge.
+	leafLeader := make(map[dag.Edge]int)
+	for i, sub := range c.s.Subgraphs {
+		h := i + 1
+		if len(c.s.Hier.Children[h]) == 0 {
+			leafLeader[sub.Edges[0]] = h
+		}
+	}
+	if len(leafLeader) > 0 {
+		for v := range c.out {
+			for _, we := range c.out[v] {
+				key := dag.Edge{Tail: c.origin[we.tail], Head: c.origin[we.head]}
+				if h, ok := leafLeader[key]; ok {
+					c.seeds[h] = append(c.seeds[h], we)
+				}
+			}
+		}
+	}
+
+	for d := c.s.Hier.MaxDepth; d >= 2; d-- {
+		for _, h := range c.s.Hier.NodesAtDepth(d) {
+			if err := c.processSubgraph(h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c.finishRoot()
+}
+
+// processSubgraph collapses every copy of hierarchy node h and groups the
+// copies into − nodes.
+func (c *constructor) processSubgraph(h int) error {
+	kind := c.s.KindOf(h)
+	var copyEdges []*workEdge
+	for _, seed := range c.seeds[h] {
+		if seed.deleted || seed.collected {
+			continue // consumed while collapsing an earlier copy (conformance errors only)
+		}
+		ce, err := c.collapseCopy(h, seed)
+		if err != nil {
+			return err
+		}
+		copyEdges = append(copyEdges, ce)
+	}
+	c.seeds[h] = nil
+	if len(copyEdges) == 0 {
+		return fmt.Errorf("plan: no copies of %s %q..%q found in run",
+			kind, c.s.NameOf(c.s.SourceOf(h)), c.s.NameOf(c.s.SinkOf(h)))
+	}
+	if kind == spec.Fork {
+		return c.groupForks(h, copyEdges)
+	}
+	return c.groupLoops(h, copyEdges)
+}
+
+// collapseCopy explores the copy of h containing the seed edge, creates
+// its + node, attaches the group nodes of nested sites, assigns contexts,
+// and replaces the copy's edges by a special copy edge.
+func (c *constructor) collapseCopy(h int, seed *workEdge) (*workEdge, error) {
+	srcOrig := c.s.SourceOf(h)
+	snkOrig := c.s.SinkOf(h)
+	kind := c.s.KindOf(h)
+	memb := c.member[h]
+
+	plus := c.newDetached(true, h)
+
+	c.gen++
+	if c.gen == 0 {
+		for i := range c.visited {
+			c.visited[i] = 0
+		}
+		c.gen = 1
+	}
+	var sTerm, tTerm dag.VertexID = -1, -1
+	collected := []*workEdge{seed}
+	seed.collected = true
+	c.frontier = c.frontier[:0]
+
+	arrive := func(v dag.VertexID) error {
+		if c.visited[v] == c.gen {
+			return nil
+		}
+		c.visited[v] = c.gen
+		o := c.origin[v]
+		if !memb.Test(int(o)) {
+			return fmt.Errorf("plan: search for %s %q..%q escaped to vertex with origin %q — run does not conform",
+				kind, c.s.NameOf(srcOrig), c.s.NameOf(snkOrig), c.s.NameOf(o))
+		}
+		switch o {
+		case srcOrig:
+			if sTerm >= 0 && sTerm != v {
+				return fmt.Errorf("plan: copy of %s %q..%q has two sources", kind, c.s.NameOf(srcOrig), c.s.NameOf(snkOrig))
+			}
+			sTerm = v
+		case snkOrig:
+			if tTerm >= 0 && tTerm != v {
+				return fmt.Errorf("plan: copy of %s %q..%q has two sinks", kind, c.s.NameOf(srcOrig), c.s.NameOf(snkOrig))
+			}
+			tTerm = v
+		}
+		c.frontier = append(c.frontier, v)
+		return nil
+	}
+	if err := arrive(seed.tail); err != nil {
+		return nil, err
+	}
+	if err := arrive(seed.head); err != nil {
+		return nil, err
+	}
+
+	for len(c.frontier) > 0 {
+		v := c.frontier[len(c.frontier)-1]
+		c.frontier = c.frontier[:len(c.frontier)-1]
+		o := c.origin[v]
+		expandOut := true
+		expandIn := true
+		if o == srcOrig {
+			if kind == spec.Fork {
+				expandOut, expandIn = false, false
+			} else {
+				expandIn = false // only source-outgoing edges stay inside the loop copy
+			}
+		} else if o == snkOrig {
+			if kind == spec.Fork {
+				expandOut, expandIn = false, false
+			} else {
+				expandOut = false // only sink-incoming edges stay inside the loop copy
+			}
+		}
+		var err error
+		visit := func(we *workEdge, other dag.VertexID) {
+			if err != nil || we.collected {
+				return
+			}
+			we.collected = true
+			collected = append(collected, we)
+			err = arrive(other)
+		}
+		if expandOut {
+			c.out[v] = compactIter(c.out[v], func(we *workEdge) { visit(we, we.head) })
+		}
+		if expandIn {
+			c.in[v] = compactIter(c.in[v], func(we *workEdge) { visit(we, we.tail) })
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sTerm < 0 || tTerm < 0 {
+		return nil, fmt.Errorf("plan: copy of %s %q..%q has no source or sink — run does not conform",
+			kind, c.s.NameOf(srcOrig), c.s.NameOf(snkOrig))
+	}
+
+	// Attach nested sites, assign contexts, delete the copy's edges.
+	for _, we := range collected {
+		if we.group != nil {
+			link(plus, we.group)
+		}
+		we.deleted = true
+	}
+	// Context assignment: every visited vertex without a context belongs
+	// to this copy; fork copies do not own their terminals.
+	assign := func(v dag.VertexID) {
+		if c.p.Context[v] == nil {
+			c.p.Context[v] = plus
+		}
+	}
+	for _, we := range collected {
+		for _, v := range [2]dag.VertexID{we.tail, we.head} {
+			if kind == spec.Fork && (v == sTerm || v == tTerm) {
+				continue
+			}
+			assign(v)
+		}
+	}
+
+	ce := &workEdge{tail: sTerm, head: tTerm, copyPlus: plus, hnode: h, leaderFor: -1}
+	c.addEdge(ce)
+	return ce, nil
+}
+
+// groupForks merges parallel copy edges sharing both endpoints into F−
+// nodes and replaces each bucket with one group edge.
+func (c *constructor) groupForks(h int, copyEdges []*workEdge) error {
+	type key struct{ s, t dag.VertexID }
+	buckets := make(map[key][]*workEdge)
+	order := make([]key, 0, len(copyEdges))
+	for _, ce := range copyEdges {
+		k := key{ce.tail, ce.head}
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
+		buckets[k] = append(buckets[k], ce)
+	}
+	for _, k := range order {
+		minus := c.newDetached(false, h)
+		for _, ce := range buckets[k] {
+			link(minus, ce.copyPlus)
+			ce.deleted = true
+		}
+		c.emitGroupEdge(h, minus, k.s, k.t)
+	}
+	return nil
+}
+
+// groupLoops chains serial copy edges through their connector edges into
+// ordered L− nodes and replaces each chain with one group edge.
+func (c *constructor) groupLoops(h int, copyEdges []*workEdge) error {
+	srcOrig := c.s.SourceOf(h)
+	bySource := make(map[dag.VertexID]*workEdge, len(copyEdges))
+	for _, ce := range copyEdges {
+		bySource[ce.tail] = ce
+	}
+	next := make(map[*workEdge]*workEdge, len(copyEdges))
+	connectors := make(map[*workEdge]*workEdge, len(copyEdges))
+	hasPred := make(map[*workEdge]bool, len(copyEdges))
+	for _, ce := range copyEdges {
+		// The connector, if any, is the unique out-edge of the copy's sink
+		// leading to a vertex originating from the loop source.
+		var conn *workEdge
+		c.out[ce.head] = compactIter(c.out[ce.head], func(we *workEdge) {
+			if we == ce || we.collected {
+				return
+			}
+			if c.origin[we.head] == srcOrig {
+				conn = we
+			}
+		})
+		if conn == nil {
+			continue
+		}
+		nxt, ok := bySource[conn.head]
+		if !ok || nxt == ce {
+			return fmt.Errorf("plan: loop %q..%q has a connector to a non-copy vertex",
+				c.s.NameOf(srcOrig), c.s.NameOf(c.s.SinkOf(h)))
+		}
+		next[ce] = nxt
+		connectors[ce] = conn
+		hasPred[nxt] = true
+	}
+	chained := 0
+	for _, head := range copyEdges {
+		if hasPred[head] {
+			continue
+		}
+		minus := c.newDetached(false, h)
+		first, last := head, head
+		for ce := head; ce != nil; ce = next[ce] {
+			link(minus, ce.copyPlus)
+			ce.deleted = true
+			if conn := connectors[ce]; conn != nil {
+				conn.deleted = true
+			}
+			last = ce
+			chained++
+			if chained > len(copyEdges) {
+				return fmt.Errorf("plan: loop %q..%q chain is cyclic", c.s.NameOf(srcOrig), c.s.NameOf(c.s.SinkOf(h)))
+			}
+		}
+		c.emitGroupEdge(h, minus, first.tail, last.head)
+	}
+	if chained != len(copyEdges) {
+		return fmt.Errorf("plan: loop %q..%q chains cover %d of %d copies",
+			c.s.NameOf(srcOrig), c.s.NameOf(c.s.SinkOf(h)), chained, len(copyEdges))
+	}
+	return nil
+}
+
+func (c *constructor) emitGroupEdge(h int, minus *Node, sV, tV dag.VertexID) {
+	ge := &workEdge{tail: sV, head: tV, group: minus, hnode: h, leaderFor: -1}
+	parent := c.s.Hier.Parent[h]
+	if parent > 0 && c.leaderChild[parent] == h {
+		ge.leaderFor = parent
+		c.seeds[parent] = append(c.seeds[parent], ge)
+	}
+	c.addEdge(ge)
+}
+
+// finishRoot assigns the root context to every remaining vertex, attaches
+// the surviving group edges to the root + node, and validates leftovers.
+func (c *constructor) finishRoot() (*Plan, error) {
+	root := c.newDetached(true, 0)
+	c.p.Root = root
+	for v := range c.out {
+		c.out[v] = compactIter(c.out[v], func(we *workEdge) {
+			if we.group != nil && we.group.Parent == nil {
+				link(root, we.group)
+			}
+		})
+	}
+	for v, ctx := range c.p.Context {
+		if ctx == nil {
+			c.p.Context[v] = root
+		}
+	}
+	// Conformance: no ungrouped copy edges may survive.
+	for v := range c.out {
+		for _, we := range c.out[v] {
+			if we.copyPlus != nil && we.group == nil && !we.deleted {
+				return nil, fmt.Errorf("plan: ungrouped copy of hierarchy node %d survived to the root", we.hnode)
+			}
+		}
+	}
+	return c.p, nil
+}

@@ -1,0 +1,29 @@
+package plan_test
+
+import (
+	"repro/internal/dag"
+	"repro/internal/order"
+	"repro/internal/plan"
+)
+
+// buildPredicate assembles the SKL reachability predicate for a plan and
+// origin vector, using the order package and direct spec-graph search as
+// the skeleton (replicating Algorithm 3 without importing core, whose
+// tests already cover the integrated path).
+func buildPredicate(p *plan.Plan, origin []dag.VertexID) func(u, v dag.VertexID) bool {
+	o := order.Generate(p)
+	searcher := dag.NewSearcher(p.Spec.Graph)
+	return func(u, v dag.VertexID) bool {
+		cu, cv := p.Context[u], p.Context[v]
+		switch order.Classify(
+			o.Pos1[cu.ID], o.Pos2[cu.ID], o.Pos3[cu.ID],
+			o.Pos1[cv.ID], o.Pos2[cv.ID], o.Pos3[cv.ID]) {
+		case order.ForkMinus, order.LoopMinusBackward:
+			return false
+		case order.LoopMinusForward:
+			return true
+		default:
+			return searcher.ReachableBFS(origin[u], origin[v])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package plan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/plan"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// mutateRun applies one random structural corruption to a copy of the
+// run graph and reports what it did.
+func mutateRun(rng *rand.Rand, r *run.Run) (*dag.Graph, []dag.VertexID, string) {
+	g := dag.New(r.NumVertices())
+	for _, e := range r.Graph.Edges() {
+		g.AddEdge(e.Tail, e.Head)
+	}
+	origin := append([]dag.VertexID(nil), r.Origin...)
+	n := r.NumVertices()
+	switch rng.Intn(3) {
+	case 0:
+		// Rewire a random edge to a random target (keeping direction by
+		// construction order, which may create cross-copy edges).
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		g2 := dag.New(n)
+		skipped := false
+		for _, e2 := range edges {
+			if !skipped && e2 == e {
+				skipped = true
+				continue
+			}
+			g2.AddEdge(e2.Tail, e2.Head)
+		}
+		g2.AddEdge(e.Tail, dag.VertexID(rng.Intn(n)))
+		return g2, origin, "rewired edge"
+	case 1:
+		// Corrupt one origin.
+		origin[rng.Intn(n)] = dag.VertexID(rng.Intn(r.Spec.NumVertices()))
+		return g, origin, "corrupted origin"
+	default:
+		// Delete a random edge.
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		g2 := dag.New(n)
+		skipped := false
+		for _, e2 := range edges {
+			if !skipped && e2 == e {
+				skipped = true
+				continue
+			}
+			g2.AddEdge(e2.Tail, e2.Head)
+		}
+		return g2, origin, "deleted edge"
+	}
+}
+
+// TestFaultInjection corrupts valid runs and requires that the pipeline
+// never silently produces a wrong labeling: either run validation fails,
+// plan construction fails, or the resulting plan still satisfies every
+// structural invariant AND answers queries consistently with the
+// (possibly corrupted) graph... in which case the mutation must have
+// produced another valid run (possible: deleting a duplicated loop
+// connector can yield a smaller valid run shape). Silent acceptance with
+// wrong answers is the only failure mode.
+func TestFaultInjection(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(1234))
+	accepted, rejected := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		et := run.RandomExecSteps(s, rng, 2+rng.Intn(15))
+		base, _ := run.MustMaterialize(s, et)
+		g, origin, _ := mutateRun(rng, base)
+		mutated := &run.Run{Spec: s, Graph: g, Origin: origin}
+		if err := mutated.Validate(); err != nil {
+			rejected++
+			continue // caught by cheap validation
+		}
+		p, err := plan.Construct(s, g, origin)
+		if err != nil {
+			rejected++
+			continue // caught by plan construction
+		}
+		if err := p.Validate(g); err != nil {
+			rejected++
+			continue // caught by structural invariants
+		}
+		// Construction accepted the mutant: the answers must then agree
+		// with actual graph reachability (i.e. the mutant happens to be a
+		// conforming run).
+		accepted++
+		closure, ok := g.TransitiveClosure()
+		if !ok {
+			t.Fatalf("trial %d: accepted cyclic mutant", trial)
+		}
+		reachable := buildPredicate(p, origin)
+		n := g.NumVertices()
+		for q := 0; q < 400; q++ {
+			u := dag.VertexID(rng.Intn(n))
+			v := dag.VertexID(rng.Intn(n))
+			if reachable(u, v) != closure.Reachable(u, v) {
+				t.Fatalf("trial %d: silently accepted mutant with wrong answers at (%d,%d)", trial, u, v)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Error("expected at least some mutants to be rejected")
+	}
+	t.Logf("fault injection: %d rejected, %d accepted-as-valid", rejected, accepted)
+}

@@ -1,0 +1,195 @@
+// Package provdata implements the data-provenance extension of Section 6:
+// data items flowing over the run's data channels, data labels derived
+// from module reachability labels, and the dependency queries between
+// data items and between data and modules.
+package provdata
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/run"
+)
+
+// ItemID identifies a data item within one annotated run.
+type ItemID int32
+
+// Item is a data item: produced (written) by exactly one module execution
+// and consumed (read) by one or more downstream module executions.
+type Item struct {
+	ID ItemID
+	// Name is an optional human-readable identifier (x1, x2, ...).
+	Name string
+	// Producer is Output(x): the unique run vertex that wrote the item.
+	Producer dag.VertexID
+	// Consumers is Inputs(x): the run vertices that read the item. For
+	// every consumer v the edge (Producer, v) must exist in the run graph
+	// (the item flows over those data channels).
+	Consumers []dag.VertexID
+}
+
+// Annotation attaches data items to a run.
+type Annotation struct {
+	Run   *run.Run
+	Items []Item
+}
+
+// Validate checks that every item flows over existing data channels and
+// has at least one consumer.
+func (a *Annotation) Validate() error {
+	n := dag.VertexID(a.Run.NumVertices())
+	for i, it := range a.Items {
+		if it.ID != ItemID(i) {
+			return fmt.Errorf("provdata: item %d has ID %d", i, it.ID)
+		}
+		if it.Producer < 0 || it.Producer >= n {
+			return fmt.Errorf("provdata: item %d has invalid producer %d", i, it.Producer)
+		}
+		if len(it.Consumers) == 0 {
+			return fmt.Errorf("provdata: item %d has no consumers", i)
+		}
+		for _, c := range it.Consumers {
+			if c < 0 || c >= n {
+				return fmt.Errorf("provdata: item %d has invalid consumer %d", i, c)
+			}
+			if !a.Run.Graph.HasEdge(it.Producer, c) {
+				return fmt.Errorf("provdata: item %d flows over nonexistent channel %d->%d",
+					i, it.Producer, c)
+			}
+		}
+	}
+	return nil
+}
+
+// ModuleReachability answers reachability between run vertices; any
+// labeling of the run (e.g. *core.Labeling) satisfies it.
+type ModuleReachability interface {
+	Reachable(u, v dag.VertexID) bool
+}
+
+// Labeling answers data-provenance queries using the labels of Section 6:
+// each item is labeled by the reachability label of its producer and the
+// set of labels of its consumers.
+type Labeling struct {
+	ann   *Annotation
+	reach ModuleReachability
+}
+
+// LabelData combines an annotated run with a module labeling.
+func LabelData(a *Annotation, reach ModuleReachability) (*Labeling, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &Labeling{ann: a, reach: reach}, nil
+}
+
+// NumItems returns the number of labeled data items.
+func (l *Labeling) NumItems() int { return len(l.ann.Items) }
+
+// Item returns the item with the given ID.
+func (l *Labeling) Item(x ItemID) Item { return l.ann.Items[x] }
+
+// DependsOn reports whether data item x depends on data item y: whether y
+// was used, directly or transitively, in producing x. Per Section 6 this
+// holds iff some consumer of y reaches (or is) the producer of x.
+func (l *Labeling) DependsOn(x, y ItemID) bool {
+	ix, iy := l.ann.Items[x], l.ann.Items[y]
+	for _, v := range iy.Consumers {
+		if l.reach.Reachable(v, ix.Producer) {
+			return true
+		}
+	}
+	return false
+}
+
+// DataDependsOnModule reports whether data item x depends on the module
+// execution v: whether v lies upstream of (or is) x's producer.
+func (l *Labeling) DataDependsOnModule(x ItemID, v dag.VertexID) bool {
+	return l.reach.Reachable(v, l.ann.Items[x].Producer)
+}
+
+// ModuleDependsOnData reports whether module execution v depends on data
+// item x: whether some consumer of x reaches (or is) v.
+func (l *Labeling) ModuleDependsOnData(v dag.VertexID, x ItemID) bool {
+	for _, c := range l.ann.Items[x].Consumers {
+		if l.reach.Reachable(c, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectedItems returns the IDs of all items that depend on item x (the
+// "which downstream data was affected by this bad result" query of the
+// introduction). Cost is linear in the number of items; the per-item test
+// is the constant-time label comparison.
+func (l *Labeling) AffectedItems(x ItemID) []ItemID {
+	var out []ItemID
+	for i := range l.ann.Items {
+		if ItemID(i) == x {
+			continue
+		}
+		if l.DependsOn(ItemID(i), x) {
+			out = append(out, ItemID(i))
+		}
+	}
+	return out
+}
+
+// MaxFanIn returns k = max |Inputs(x)|: the factor by which data labels
+// are longer than module labels (Section 6's cost analysis).
+func (a *Annotation) MaxFanIn() int {
+	k := 0
+	for _, it := range a.Items {
+		if len(it.Consumers) > k {
+			k = len(it.Consumers)
+		}
+	}
+	return k
+}
+
+// RandomItems annotates a run with synthetic data items: each data
+// channel carries one or more items, and with probability shareProb an
+// item produced by a module is shared across several of its out-channels
+// (one item read by multiple modules, like x1 in Figure 11).
+func RandomItems(r *run.Run, rng *rand.Rand, meanPerEdge float64, shareProb float64) *Annotation {
+	if meanPerEdge < 1 {
+		meanPerEdge = 1
+	}
+	a := &Annotation{Run: r}
+	newItem := func(producer dag.VertexID, consumers ...dag.VertexID) {
+		id := ItemID(len(a.Items))
+		a.Items = append(a.Items, Item{
+			ID:        id,
+			Name:      fmt.Sprintf("x%d", id+1),
+			Producer:  producer,
+			Consumers: consumers,
+		})
+	}
+	p := 0.0
+	if meanPerEdge > 1 {
+		p = (meanPerEdge - 1) / meanPerEdge
+	}
+	for u := 0; u < r.NumVertices(); u++ {
+		outs := r.Graph.Out(dag.VertexID(u))
+		if len(outs) == 0 {
+			continue
+		}
+		if len(outs) > 1 && rng.Float64() < shareProb {
+			// One shared item read by every successor, plus per-edge items.
+			consumers := append([]dag.VertexID(nil), outs...)
+			newItem(dag.VertexID(u), consumers...)
+		}
+		for _, v := range outs {
+			k := 1
+			for p > 0 && rng.Float64() < p && k < 1<<16 {
+				k++
+			}
+			for i := 0; i < k; i++ {
+				newItem(dag.VertexID(u), v)
+			}
+		}
+	}
+	return a
+}

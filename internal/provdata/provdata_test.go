@@ -1,0 +1,240 @@
+package provdata_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/provdata"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// figure11 reproduces the Figure 11 annotation on the Figure 3 run:
+// x1 shared by (a1,b1) and (a1,b3); x6 on (c3,h1).
+func figure11(t *testing.T) (*run.Run, *provdata.Annotation, map[string]dag.VertexID) {
+	t.Helper()
+	s := spec.PaperSpec()
+	et := run.SingleExec(s)
+	var f1Site, l2Site *run.ExecTree
+	for _, site := range et.Copies[0].Sites {
+		if s.KindOf(site.HNode) == spec.Fork {
+			f1Site = site
+		} else {
+			l2Site = site
+		}
+	}
+	run.Duplicate(run.Duplicatable{Site: f1Site, Index: 0})
+	run.Duplicate(run.Duplicatable{Site: f1Site.Copies[0].Sites[0], Index: 0})
+	run.Duplicate(run.Duplicatable{Site: l2Site, Index: 0})
+	run.Duplicate(run.Duplicatable{Site: l2Site.Copies[1].Sites[0], Index: 0})
+	r, _ := run.MustMaterialize(s, et)
+	byName := make(map[string]dag.VertexID)
+	for v := 0; v < r.NumVertices(); v++ {
+		byName[r.NameOf(dag.VertexID(v))] = dag.VertexID(v)
+	}
+	a := &provdata.Annotation{Run: r}
+	add := func(name string, producer string, consumers ...string) provdata.ItemID {
+		id := provdata.ItemID(len(a.Items))
+		cs := make([]dag.VertexID, len(consumers))
+		for i, c := range consumers {
+			cs[i] = byName[c]
+		}
+		a.Items = append(a.Items, provdata.Item{ID: id, Name: name, Producer: byName[producer], Consumers: cs})
+		return id
+	}
+	add("x1", "a1", "b1", "b3")
+	add("x2", "a1", "b1")
+	add("x3", "b1", "c1")
+	add("x4", "b2", "c2")
+	add("x5", "b2", "c2")
+	add("x6", "c3", "h1")
+	add("x7", "c3", "h1")
+	add("x8", "c3", "h1")
+	if err := a.Validate(); err != nil {
+		t.Fatalf("figure-11 annotation invalid: %v", err)
+	}
+	return r, a, byName
+}
+
+func labelFigure11(t *testing.T) (*provdata.Labeling, map[string]dag.VertexID) {
+	t.Helper()
+	r, a, byName := figure11(t)
+	skel, _ := label.TCM{}.Build(r.Spec.Graph)
+	mod, err := core.LabelRun(r, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := provdata.LabelData(a, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dl, byName
+}
+
+func TestPaperDataQueries(t *testing.T) {
+	dl, byName := labelFigure11(t)
+	// Example 10: does x6 depend on x1? Inputs(x1) = {b1, b3}; b3 reaches
+	// c3 = Output(x6), so yes.
+	if !dl.DependsOn(5, 0) {
+		t.Error("x6 should depend on x1 (b3 reaches c3)")
+	}
+	// Intro query 1: x8 (output of c3) on x1? Same as above — yes via b3.
+	if !dl.DependsOn(7, 0) {
+		t.Error("x8 should depend on x1")
+	}
+	// x8 on x2 (consumed only by b1, parallel to c3): no.
+	if dl.DependsOn(7, 1) {
+		t.Error("x8 should not depend on x2 (b1 parallel to c3)")
+	}
+	// Intro query 2: x4 (output of b2) on x2 (input of... x2 consumed by
+	// b1; wait the intro's x2 is input to c1) — with our numbering x3 is
+	// (b1,c1); x4 on x3: c1 reaches b2 via the loop, so yes.
+	if !dl.DependsOn(3, 2) {
+		t.Error("x4 should depend on x3 (c1 reaches b2 across loop iterations)")
+	}
+	// Self-dependency is not implied: x1 does not depend on itself here
+	// (b1/b3 do not reach a1).
+	if dl.DependsOn(0, 0) {
+		t.Error("x1 should not depend on itself")
+	}
+	// Data-module queries: x6 depends on module b3 but not on b1.
+	if !dl.DataDependsOnModule(5, byName["b3"]) {
+		t.Error("x6 should depend on b3")
+	}
+	if dl.DataDependsOnModule(5, byName["b1"]) {
+		t.Error("x6 should not depend on b1")
+	}
+	// Module-data: h1 depends on x1 (b1 reaches h1); c1 does not depend
+	// on x6 (h1 does not reach c1).
+	if !dl.ModuleDependsOnData(byName["h1"], 0) {
+		t.Error("h1 should depend on x1")
+	}
+	if dl.ModuleDependsOnData(byName["c1"], 5) {
+		t.Error("c1 should not depend on x6")
+	}
+}
+
+func TestAffectedItems(t *testing.T) {
+	dl, _ := labelFigure11(t)
+	// Items downstream of x3 = (b1,c1): x4, x5 (b2 after the loop) and
+	// x6..x8? c1 reaches b2 and c2 but NOT c3 (parallel fork copy):
+	// affected = {x4, x5}.
+	got := dl.AffectedItems(2)
+	want := map[provdata.ItemID]bool{3: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("AffectedItems(x3) = %v, want x4,x5", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("AffectedItems(x3) = %v, want x4,x5", got)
+		}
+	}
+}
+
+func TestValidateRejectsBadItems(t *testing.T) {
+	r, a, byName := figure11(t)
+	_ = byName
+	t.Run("wrong ID", func(t *testing.T) {
+		bad := &provdata.Annotation{Run: r, Items: []provdata.Item{{ID: 3, Producer: 0, Consumers: []dag.VertexID{1}}}}
+		if err := bad.Validate(); err == nil {
+			t.Error("wrong ID accepted")
+		}
+	})
+	t.Run("no consumers", func(t *testing.T) {
+		bad := &provdata.Annotation{Run: r, Items: []provdata.Item{{ID: 0, Producer: 0}}}
+		if err := bad.Validate(); err == nil {
+			t.Error("consumer-less item accepted")
+		}
+	})
+	t.Run("nonexistent channel", func(t *testing.T) {
+		items := append([]provdata.Item(nil), a.Items...)
+		items[0].Consumers = []dag.VertexID{items[0].Producer} // self channel
+		bad := &provdata.Annotation{Run: r, Items: items}
+		if err := bad.Validate(); err == nil {
+			t.Error("nonexistent channel accepted")
+		}
+	})
+	t.Run("invalid producer", func(t *testing.T) {
+		items := append([]provdata.Item(nil), a.Items...)
+		items[0].Producer = 1000
+		bad := &provdata.Annotation{Run: r, Items: items}
+		if err := bad.Validate(); err == nil {
+			t.Error("invalid producer accepted")
+		}
+	})
+}
+
+func TestMaxFanIn(t *testing.T) {
+	_, a, _ := figure11(t)
+	if got := a.MaxFanIn(); got != 2 {
+		t.Errorf("MaxFanIn = %d, want 2 (x1 read by b1 and b3)", got)
+	}
+}
+
+func TestRandomItemsValid(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(4))
+	r, _ := run.GenerateSized(s, rng, 300)
+	a := provdata.RandomItems(r, rng, 2.0, 0.5)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("random annotation invalid: %v", err)
+	}
+	if len(a.Items) < r.NumEdges() {
+		t.Errorf("expected at least one item per edge, got %d items for %d edges",
+			len(a.Items), r.NumEdges())
+	}
+}
+
+// Property: data dependency agrees with a direct graph-search oracle —
+// x depends on y iff some consumer of y reaches x's producer in R.
+func TestQuickDataDependencyOracle(t *testing.T) {
+	s := spec.PaperSpec()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		et := run.RandomExecSteps(s, rng, rng.Intn(30))
+		r, _ := run.MustMaterialize(s, et)
+		a := provdata.RandomItems(r, rng, 1.5, 0.3)
+		skel, _ := label.BFS{}.Build(s.Graph)
+		mod, err := core.LabelRun(r, skel)
+		if err != nil {
+			return false
+		}
+		dl, err := provdata.LabelData(a, mod)
+		if err != nil {
+			return false
+		}
+		searcher := dag.NewSearcher(r.Graph)
+		for q := 0; q < 200; q++ {
+			x := provdata.ItemID(rng.Intn(len(a.Items)))
+			y := provdata.ItemID(rng.Intn(len(a.Items)))
+			want := false
+			for _, c := range a.Items[y].Consumers {
+				if searcher.ReachableBFS(c, a.Items[x].Producer) {
+					want = true
+					break
+				}
+			}
+			if dl.DependsOn(x, y) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemAccessors(t *testing.T) {
+	dl, _ := labelFigure11(t)
+	if dl.NumItems() != 8 {
+		t.Errorf("NumItems = %d, want 8", dl.NumItems())
+	}
+	if dl.Item(0).Name != "x1" {
+		t.Errorf("Item(0).Name = %q, want x1", dl.Item(0).Name)
+	}
+}

@@ -1,0 +1,81 @@
+package provdata
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Stream registers data items as they are produced by a still-running
+// workflow and answers dependency queries immediately — the combination
+// of the Section 6 data labels with the Section 9 online module labels.
+// Any ModuleReachability works; pair it with *online.Labeler to label
+// and query intermediate data before the run completes.
+//
+// Stream performs no channel validation (the run graph may not exist
+// yet); producers and consumers are trusted to be real module
+// executions reported by the engine.
+type Stream struct {
+	reach ModuleReachability
+	items []Item
+}
+
+// NewStream returns an empty stream over the given module reachability.
+func NewStream(reach ModuleReachability) *Stream {
+	return &Stream{reach: reach}
+}
+
+// Add registers a data item written by producer and read by consumers,
+// returning its ID. Consumers may be extended later with AddReader as
+// more modules consume the item.
+func (s *Stream) Add(name string, producer dag.VertexID, consumers ...dag.VertexID) ItemID {
+	id := ItemID(len(s.items))
+	if name == "" {
+		name = fmt.Sprintf("x%d", id+1)
+	}
+	s.items = append(s.items, Item{
+		ID:        id,
+		Name:      name,
+		Producer:  producer,
+		Consumers: append([]dag.VertexID(nil), consumers...),
+	})
+	return id
+}
+
+// AddReader records an additional consumer of an existing item.
+func (s *Stream) AddReader(x ItemID, consumer dag.VertexID) {
+	s.items[x].Consumers = append(s.items[x].Consumers, consumer)
+}
+
+// NumItems returns the number of registered items.
+func (s *Stream) NumItems() int { return len(s.items) }
+
+// Item returns the item with the given ID.
+func (s *Stream) Item(x ItemID) Item { return s.items[x] }
+
+// DependsOn reports whether item x depends on item y, under the current
+// (possibly still growing) run.
+func (s *Stream) DependsOn(x, y ItemID) bool {
+	ix, iy := s.items[x], s.items[y]
+	for _, v := range iy.Consumers {
+		if s.reach.Reachable(v, ix.Producer) {
+			return true
+		}
+	}
+	return false
+}
+
+// DataDependsOnModule reports whether item x depends on module execution v.
+func (s *Stream) DataDependsOnModule(x ItemID, v dag.VertexID) bool {
+	return s.reach.Reachable(v, s.items[x].Producer)
+}
+
+// ModuleDependsOnData reports whether module execution v depends on item x.
+func (s *Stream) ModuleDependsOnData(v dag.VertexID, x ItemID) bool {
+	for _, c := range s.items[x].Consumers {
+		if s.reach.Reachable(c, v) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package provdata_test
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/online"
+	"repro/internal/provdata"
+	"repro/internal/spec"
+)
+
+// TestStreamOverOnlineLabeler exercises the §6 + §9 combination: data
+// items registered and queried while the "workflow" is still growing.
+func TestStreamOverOnlineLabeler(t *testing.T) {
+	s := spec.PaperSpec()
+	skel, err := label.TCM{}.Build(s.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := online.New(s, skel)
+	root := l.Root()
+	ds := provdata.NewStream(l)
+
+	orig := func(name spec.ModuleName) dag.VertexID {
+		v, _ := s.VertexOf(name)
+		return v
+	}
+	var f1, l1 int
+	for i, sub := range s.Subgraphs {
+		switch {
+		case sub.Kind == spec.Fork && s.NameOf(sub.Source) == "a":
+			f1 = i + 1
+		case sub.Kind == spec.Loop && s.NameOf(sub.Source) == "b":
+			l1 = i + 1
+		}
+	}
+
+	// a executes and writes x1, read (later) by both fork copies of b.
+	a1, err := l.AddExec(root, orig("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := ds.Add("x1", a1)
+
+	// First fork copy: b1 reads x1, writes x3 to c1.
+	f1c1, _ := l.StartCopy(root, f1)
+	l1c1, _ := l.StartCopy(f1c1, l1)
+	b1, _ := l.AddExec(l1c1, orig("b"))
+	ds.AddReader(x1, b1)
+	c1, _ := l.AddExec(l1c1, orig("c"))
+	x3 := ds.Add("x3", b1, c1)
+
+	// Mid-run data query: x3 already depends on x1.
+	if !ds.DependsOn(x3, x1) {
+		t.Error("x3 should depend on x1 mid-run")
+	}
+	if ds.DependsOn(x1, x3) {
+		t.Error("x1 should not depend on x3")
+	}
+
+	// Second fork copy: b3 also reads x1 and writes x6' to c3.
+	f1c2, _ := l.StartCopy(root, f1)
+	l1c3, _ := l.StartCopy(f1c2, l1)
+	b3, _ := l.AddExec(l1c3, orig("b"))
+	ds.AddReader(x1, b3)
+	c3, _ := l.AddExec(l1c3, orig("c"))
+	x6 := ds.Add("x6", c3)
+	_ = x6
+
+	// x6 (second copy) depends on x1 via b3 but NOT on x3 (parallel copy).
+	if !ds.DependsOn(x6, x1) {
+		t.Error("x6 should depend on x1 (b3 reaches c3)")
+	}
+	if ds.DependsOn(x6, x3) {
+		t.Error("x6 should not depend on x3 (parallel fork copies)")
+	}
+	// Module/data queries.
+	if !ds.DataDependsOnModule(x6, b3) || ds.DataDependsOnModule(x6, b1) {
+		t.Error("DataDependsOnModule wrong")
+	}
+	if !ds.ModuleDependsOnData(c1, x1) || ds.ModuleDependsOnData(b1, x3) {
+		t.Error("ModuleDependsOnData wrong")
+	}
+	if ds.NumItems() != 3 {
+		t.Errorf("NumItems = %d", ds.NumItems())
+	}
+	if ds.Item(x1).Name != "x1" || len(ds.Item(x1).Consumers) != 2 {
+		t.Error("Item accessor wrong")
+	}
+	// Auto-naming.
+	auto := ds.Add("", c3)
+	if ds.Item(auto).Name == "" {
+		t.Error("auto name missing")
+	}
+}

@@ -1,0 +1,37 @@
+package run
+
+import (
+	"repro/internal/plan"
+	"repro/internal/spec"
+)
+
+// Figure3Exec builds the execution tree of the paper's Figure 3 run for
+// the Figure 2 specification: F1 executed twice (its first copy loops L1
+// twice, the second once), L2 executed twice (its second iteration forks
+// F2 twice).
+func Figure3Exec(s *spec.Spec) *ExecTree {
+	et := SingleExec(s)
+	var f1Site, l2Site *ExecTree
+	for _, site := range et.Copies[0].Sites {
+		if s.KindOf(site.HNode) == spec.Fork {
+			f1Site = site
+		} else {
+			l2Site = site
+		}
+	}
+	if f1Site == nil || l2Site == nil {
+		panic("run: Figure3Exec requires the paper specification")
+	}
+	Duplicate(Duplicatable{Site: f1Site, Index: 0})
+	Duplicate(Duplicatable{Site: f1Site.Copies[0].Sites[0], Index: 0})
+	Duplicate(Duplicatable{Site: l2Site, Index: 0})
+	Duplicate(Duplicatable{Site: l2Site.Copies[1].Sites[0], Index: 0})
+	return et
+}
+
+// Figure3Run materializes the paper's Figure 3 run (16 vertices, 18
+// edges) with its ground-truth execution plan (Figure 7).
+func Figure3Run(s *spec.Spec) (*Run, *plan.Plan) {
+	r, p := MustMaterialize(s, Figure3Exec(s))
+	return r, p
+}

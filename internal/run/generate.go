@@ -1,0 +1,93 @@
+package run
+
+import (
+	"math/rand"
+
+	"repro/internal/plan"
+	"repro/internal/spec"
+)
+
+// RandomExecExpand builds an execution tree top-down, drawing an
+// independent copy count for every fork/loop site from a geometric
+// distribution with the given mean (mean >= 1). This matches the paper's
+// synthetic workload: "we randomly replicated each fork or loop one or
+// more times".
+func RandomExecExpand(s *spec.Spec, rng *rand.Rand, meanCopies float64) *ExecTree {
+	if meanCopies < 1 {
+		meanCopies = 1
+	}
+	p := 0.0
+	if meanCopies > 1 {
+		p = (meanCopies - 1) / meanCopies
+	}
+	drawCount := func() int {
+		k := 1
+		for p > 0 && rng.Float64() < p && k < 1<<20 {
+			k++
+		}
+		return k
+	}
+	var buildSite func(hnode int) *ExecTree
+	var buildCopy func(hnode int) *ExecCopy
+	buildCopy = func(hnode int) *ExecCopy {
+		c := &ExecCopy{}
+		for _, child := range s.Hier.Children[hnode] {
+			c.Sites = append(c.Sites, buildSite(child))
+		}
+		return c
+	}
+	buildSite = func(hnode int) *ExecTree {
+		t := &ExecTree{HNode: hnode}
+		k := drawCount()
+		for i := 0; i < k; i++ {
+			t.Copies = append(t.Copies, buildCopy(hnode))
+		}
+		return t
+	}
+	root := &ExecTree{HNode: 0, Copies: []*ExecCopy{buildCopy(0)}}
+	return root
+}
+
+// GenerateSized produces a run whose vertex count approximates
+// targetVertices (within roughly ±30% for feasible targets), by searching
+// over the mean copy count of RandomExecExpand. Specifications without any
+// fork or loop yield the unique minimal run regardless of target.
+func GenerateSized(s *spec.Spec, rng *rand.Rand, targetVertices int) (*Run, *plan.Plan) {
+	t := ExecForSize(s, rng, targetVertices)
+	r, p, err := Materialize(s, t)
+	if err != nil {
+		panic(err) // generated trees are valid by construction
+	}
+	return r, p
+}
+
+// ExecForSize searches for an execution tree whose estimated materialized
+// size approximates targetVertices.
+func ExecForSize(s *spec.Spec, rng *rand.Rand, targetVertices int) *ExecTree {
+	if len(s.Subgraphs) == 0 || targetVertices <= s.NumVertices() {
+		return SingleExec(s)
+	}
+	mean := 2.0
+	var best *ExecTree
+	bestErr := -1
+	for iter := 0; iter < 60; iter++ {
+		t := RandomExecExpand(s, rng, mean)
+		est := t.EstimateVertices(s)
+		diff := est - targetVertices
+		if diff < 0 {
+			diff = -diff
+		}
+		if bestErr < 0 || diff < bestErr {
+			best, bestErr = t, diff
+		}
+		switch {
+		case est < targetVertices*8/10:
+			mean *= 1.4
+		case est > targetVertices*13/10:
+			mean = 1 + (mean-1)/1.5
+		default:
+			return t
+		}
+	}
+	return best
+}

@@ -1,0 +1,195 @@
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/plan"
+	"repro/internal/spec"
+)
+
+// Materialize builds the run graph described by an execution tree,
+// following Lemma 4.1 bottom-up: a copy of a region instantiates its
+// direct vertices and edges, loop sites chain their copies with serial
+// connector edges, and fork sites attach all copies to the shared terminal
+// vertices of the enclosing copy.
+//
+// Alongside the run it returns the ground-truth execution plan T_R and
+// context function, which the ConstructPlan algorithm must later recover
+// from the graph alone.
+func Materialize(s *spec.Spec, t *ExecTree) (*Run, *plan.Plan, error) {
+	if err := t.Validate(s); err != nil {
+		return nil, nil, err
+	}
+	m := &materializer{
+		s: s,
+		g: dag.New(0),
+		p: &plan.Plan{Spec: s},
+	}
+	m.directEdges = m.computeDirectEdges()
+	root := m.p.NewNode(true, 0, nil)
+	m.p.Root = root
+	srcRun := m.newVertex(s.Source, root)
+	snkRun := m.newVertex(s.Sink, root)
+	m.emitCopy(0, t.Copies[0], root, srcRun, snkRun)
+	m.p.Context = m.context
+	r := &Run{Spec: s, Graph: m.g, Origin: m.origin}
+	if err := m.p.Validate(m.g); err != nil {
+		return nil, nil, fmt.Errorf("run: materialized plan invalid: %w", err)
+	}
+	return r, m.p, nil
+}
+
+// MustMaterialize is Materialize that panics on error, for tests.
+func MustMaterialize(s *spec.Spec, t *ExecTree) (*Run, *plan.Plan) {
+	r, p, err := Materialize(s, t)
+	if err != nil {
+		panic(err)
+	}
+	return r, p
+}
+
+type materializer struct {
+	s       *spec.Spec
+	g       *dag.Graph
+	origin  []dag.VertexID
+	context []*plan.Node
+	p       *plan.Plan
+	// directEdges[h] lists the edges of region h that belong to no
+	// hierarchy child of h.
+	directEdges [][]dag.Edge
+}
+
+func (m *materializer) newVertex(orig dag.VertexID, ctx *plan.Node) dag.VertexID {
+	v := m.g.AddVertex()
+	m.origin = append(m.origin, orig)
+	m.context = append(m.context, ctx)
+	return v
+}
+
+func (m *materializer) computeDirectEdges() [][]dag.Edge {
+	h := m.s.Hier
+	owner := m.s.EdgeOwner()
+	out := make([][]dag.Edge, h.NumNodes())
+	for i, e := range m.s.Graph.Edges() {
+		out[owner[i]] = append(out[owner[i]], e)
+	}
+	// EdgeOwner assigns each edge to its innermost containing subgraph, but
+	// "direct" means not in any child's edge set — for a fork and loop with
+	// equal edge sets the innermost owner is the fork (deeper); that is the
+	// correct direct owner, so nothing more to do.
+	return out
+}
+
+// emitCopy emits the body of one copy of hierarchy node hn into the run
+// graph. sRun and tRun are the run vertices standing for the region's
+// source and sink; they are created by the caller. plus is the + plan node
+// of this copy.
+func (m *materializer) emitCopy(hn int, c *ExecCopy, plus *plan.Node, sRun, tRun dag.VertexID) {
+	srcSpec := m.s.SourceOf(hn)
+	snkSpec := m.s.SinkOf(hn)
+	vmap := map[dag.VertexID]dag.VertexID{srcSpec: sRun, snkSpec: tRun}
+
+	// Loops (and the root) dominate their terminals: claim them for this
+	// copy. A deeper terminal-sharing loop child emitted below may
+	// overwrite, implementing the "deepest dominating + node" rule.
+	if m.s.KindOf(hn) == spec.Loop {
+		m.context[sRun] = plus
+		m.context[tRun] = plus
+	}
+
+	// Direct vertices of this region (terminals are already in vmap).
+	for _, v := range m.s.DirectVertices(hn) {
+		if v == srcSpec || v == snkSpec {
+			continue
+		}
+		vmap[v] = m.newVertex(v, plus)
+	}
+
+	children := m.s.Hier.Children[hn]
+	// Loop sites first: they create their own terminal vertices, which
+	// sibling fork sites and direct edges may reference.
+	for i, child := range children {
+		if m.s.KindOf(child) != spec.Loop {
+			continue
+		}
+		m.emitLoopSite(child, c.Sites[i], plus, vmap, srcSpec, snkSpec)
+	}
+	for i, child := range children {
+		if m.s.KindOf(child) != spec.Fork {
+			continue
+		}
+		m.emitForkSite(child, c.Sites[i], plus, vmap)
+	}
+
+	for _, e := range m.directEdges[hn] {
+		u, ok := vmap[e.Tail]
+		if !ok {
+			panic(fmt.Sprintf("run: direct edge tail %d of region %d unmapped", e.Tail, hn))
+		}
+		w, ok := vmap[e.Head]
+		if !ok {
+			panic(fmt.Sprintf("run: direct edge head %d of region %d unmapped", e.Head, hn))
+		}
+		m.g.AddEdge(u, w)
+	}
+}
+
+// emitLoopSite emits all serial copies of loop child, chains them with
+// connector edges, and registers the chain terminals in the parent's vmap.
+// When the loop shares a terminal with the enclosing region, the first
+// copy's source (resp. last copy's sink) reuses the already-created vertex.
+func (m *materializer) emitLoopSite(child int, site *ExecTree, parentPlus *plan.Node,
+	vmap map[dag.VertexID]dag.VertexID, parentSrc, parentSnk dag.VertexID) {
+
+	sub := m.s.SubgraphOf(child)
+	minus := m.p.NewNode(false, child, parentPlus)
+	k := len(site.Copies)
+	var first, prevSink dag.VertexID
+	for j, cp := range site.Copies {
+		copyPlus := m.p.NewNode(true, child, minus)
+		var sj, tj dag.VertexID
+		if j == 0 && sub.Source == parentSrc {
+			sj = vmap[parentSrc]
+			m.context[sj] = copyPlus // deeper loop claims the shared terminal
+		} else {
+			sj = m.newVertex(sub.Source, copyPlus)
+		}
+		if j == k-1 && sub.Sink == parentSnk {
+			tj = vmap[parentSnk]
+			m.context[tj] = copyPlus
+		} else {
+			tj = m.newVertex(sub.Sink, copyPlus)
+		}
+		m.emitCopy(child, cp, copyPlus, sj, tj)
+		if j > 0 {
+			m.g.AddEdge(prevSink, sj) // serial connector
+		} else {
+			first = sj
+		}
+		prevSink = tj
+	}
+	vmap[sub.Source] = first
+	vmap[sub.Sink] = prevSink
+}
+
+// emitForkSite emits all parallel copies of fork child between the shared
+// terminal vertices already present in vmap.
+func (m *materializer) emitForkSite(child int, site *ExecTree, parentPlus *plan.Node,
+	vmap map[dag.VertexID]dag.VertexID) {
+
+	sub := m.s.SubgraphOf(child)
+	sRun, ok := vmap[sub.Source]
+	if !ok {
+		panic(fmt.Sprintf("run: fork %d source %d unmapped", child, sub.Source))
+	}
+	tRun, ok := vmap[sub.Sink]
+	if !ok {
+		panic(fmt.Sprintf("run: fork %d sink %d unmapped", child, sub.Sink))
+	}
+	minus := m.p.NewNode(false, child, parentPlus)
+	for _, cp := range site.Copies {
+		copyPlus := m.p.NewNode(true, child, minus)
+		m.emitCopy(child, cp, copyPlus, sRun, tRun)
+	}
+}

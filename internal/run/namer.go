@@ -1,0 +1,40 @@
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Namer resolves the display names of run vertices (module name plus
+// occurrence subscript) in O(1) after an O(n) build, replacing the O(n)
+// per-call Run.NameOf for callers that name many vertices.
+type Namer struct {
+	names  []string
+	byName map[string]dag.VertexID
+}
+
+// NewNamer indexes all vertex names of the run.
+func NewNamer(r *Run) *Namer {
+	n := r.NumVertices()
+	counts := make([]int, r.Spec.NumVertices())
+	names := make([]string, n)
+	byName := make(map[string]dag.VertexID, n)
+	for v := 0; v < n; v++ {
+		o := r.Origin[v]
+		counts[o]++
+		name := fmt.Sprintf("%s%d", r.Spec.NameOf(o), counts[o])
+		names[v] = name
+		byName[name] = dag.VertexID(v)
+	}
+	return &Namer{names: names, byName: byName}
+}
+
+// Name returns the display name of vertex v.
+func (nm *Namer) Name(v dag.VertexID) string { return nm.names[v] }
+
+// Vertex resolves a display name back to its vertex.
+func (nm *Namer) Vertex(name string) (dag.VertexID, bool) {
+	v, ok := nm.byName[name]
+	return v, ok
+}

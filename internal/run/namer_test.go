@@ -1,0 +1,40 @@
+package run
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/spec"
+)
+
+func TestNamerMatchesNameOf(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(1))
+	r, _ := GenerateSized(s, rng, 400)
+	nm := NewNamer(r)
+	for v := 0; v < r.NumVertices(); v++ {
+		vid := dag.VertexID(v)
+		want := r.NameOf(vid)
+		if got := nm.Name(vid); got != want {
+			t.Fatalf("Name(%d) = %q, want %q", v, got, want)
+		}
+		back, ok := nm.Vertex(want)
+		if !ok || back != vid {
+			t.Fatalf("Vertex(%q) = %d,%v", want, back, ok)
+		}
+	}
+	if _, ok := nm.Vertex("nonexistent99"); ok {
+		t.Error("Vertex found a nonexistent name")
+	}
+}
+
+func BenchmarkNamerLookup(b *testing.B) {
+	s := spec.PaperSpec()
+	r, _ := GenerateSized(s, rand.New(rand.NewSource(2)), 5000)
+	nm := NewNamer(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nm.Name(dag.VertexID(i % r.NumVertices()))
+	}
+}

@@ -1,0 +1,67 @@
+package spec
+
+// PaperSpec returns the running example of the paper (Figure 2): the
+// acyclic flow network G over modules a..h with
+//
+//	a -> b -> c -> h        (upper branch)
+//	a -> d -> e -> f -> g -> h   (lower branch)
+//
+// and the well-nested system F = {F1, F2}, L = {L1, L2}:
+//
+//	F1: fork  a ..(b,c).. h     — internal {b, c}
+//	L1: loop  b .. c            — vertices {b, c}, nested in F1
+//	L2: loop  e .. g            — vertices {e, f, g}
+//	F2: fork  e ..(f).. g       — internal {f}, nested in L2
+//
+// The hierarchy T_G (Figure 6) is G -> F1 -> L1 and G -> L2 -> F2.
+func PaperSpec() *Spec {
+	b := NewBuilder()
+	b.Chain("a", "b", "c", "h")
+	b.Chain("a", "d", "e", "f", "g", "h")
+	b.Fork("a", "h", "b", "c") // F1
+	b.Loop("b", "c")           // L1
+	b.Loop("e", "g", "f")      // L2
+	b.Fork("e", "g", "f")      // F2
+	return b.MustBuild()
+}
+
+// IntroSpec returns the small motivating example of Figure 1: a -> b -> c
+// -> d with a fork around {b, c} and a loop over {b, c}.
+func IntroSpec() *Spec {
+	b := NewBuilder()
+	b.Chain("a", "b", "c", "d")
+	b.Fork("a", "d", "b", "c")
+	b.Loop("b", "c")
+	return b.MustBuild()
+}
+
+// LinearSpec returns a fork/loop-free pipeline of n modules m0 -> m1 ->
+// ... -> m(n-1), useful as a degenerate baseline in tests.
+func LinearSpec(n int) *Spec {
+	if n < 2 {
+		n = 2
+	}
+	b := NewBuilder()
+	names := make([]ModuleName, n)
+	for i := range names {
+		names[i] = ModuleName(moduleName(i))
+	}
+	b.Chain(names...)
+	return b.MustBuild()
+}
+
+// moduleName generates short distinct names m0, m1, ...
+func moduleName(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "m0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = digits[i%10]
+		i /= 10
+	}
+	return "m" + string(buf[pos:])
+}

@@ -1,0 +1,201 @@
+// Package store persists labeled provenance to disk: the specification,
+// each run's graph and data items (XML), and each run's reachability
+// labels (compact binary snapshots). It is the file-system equivalent of
+// the provenance database the paper targets — "data can be labeled and
+// stored in a database along with its label" — and supports opening a
+// store and answering provenance queries without relabeling anything.
+//
+// Layout:
+//
+//	<dir>/spec.xml          the specification
+//	<dir>/runs/<name>.xml   one run (+ data items) per file
+//	<dir>/runs/<name>.skl   the run's label snapshot
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/label"
+	"repro/internal/provdata"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/xmlio"
+)
+
+// Store is an on-disk provenance store for one specification.
+type Store struct {
+	dir      string
+	spec     *spec.Spec
+	specName string
+}
+
+// Create initializes a store directory for the specification.
+func Create(dir string, s *spec.Spec, name string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "spec.xml"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := xmlio.EncodeSpec(f, s, name); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, spec: s, specName: name}, nil
+}
+
+// Open loads an existing store.
+func Open(dir string) (*Store, error) {
+	f, err := os.Open(filepath.Join(dir, "spec.xml"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	s, name, err := xmlio.DecodeSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, spec: s, specName: name}, nil
+}
+
+// Spec returns the store's specification.
+func (st *Store) Spec() *spec.Spec { return st.spec }
+
+// SpecName returns the stored specification's name.
+func (st *Store) SpecName() string { return st.specName }
+
+// PutRun labels the run (with the given scheme) and persists graph, data
+// items and label snapshot under the given run name.
+func (st *Store) PutRun(name string, r *run.Run, ann *provdata.Annotation, scheme label.Scheme) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if r.Spec != st.spec {
+		// Allow structurally equal specs (e.g. reopened stores) as long
+		// as the run validates against the store's spec.
+		r = &run.Run{Spec: st.spec, Graph: r.Graph, Origin: r.Origin}
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	skel, err := scheme.Build(st.spec.Graph)
+	if err != nil {
+		return err
+	}
+	l, err := core.LabelRun(r, skel)
+	if err != nil {
+		return err
+	}
+	rf, err := os.Create(st.runPath(name, ".xml"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := xmlio.EncodeRun(rf, r, ann, st.specName); err != nil {
+		rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	lf, err := os.Create(st.runPath(name, ".skl"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := l.WriteTo(lf); err != nil {
+		lf.Close()
+		return err
+	}
+	return lf.Close()
+}
+
+// Runs lists the stored run names, sorted.
+func (st *Store) Runs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "runs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".xml") {
+			out = append(out, strings.TrimSuffix(e.Name(), ".xml"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Session is a loaded run ready for querying: stored labels bound to a
+// freshly built skeleton labeling, plus the run and its data items.
+type Session struct {
+	Run      *run.Run
+	Data     *provdata.Annotation
+	Labels   *core.Labeling
+	DataView *provdata.Labeling // nil when the run has no data items
+}
+
+// OpenRun loads one run's labels for querying. The scheme rebuilds the
+// skeleton labeling of the (small) specification; the run labels come
+// from the stored snapshot and are not recomputed.
+func (st *Store) OpenRun(name string, scheme label.Scheme) (*Session, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	rf, err := os.Open(st.runPath(name, ".xml"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	r, ann, err := xmlio.DecodeRun(rf, st.spec)
+	rf.Close()
+	if err != nil {
+		return nil, err
+	}
+	lf, err := os.Open(st.runPath(name, ".skl"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	snap, err := core.ReadSnapshot(lf)
+	lf.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Labels) != r.NumVertices() {
+		return nil, fmt.Errorf("store: snapshot covers %d vertices, run has %d", len(snap.Labels), r.NumVertices())
+	}
+	skel, err := scheme.Build(st.spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	l, err := snap.Bind(skel)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{Run: r, Data: ann, Labels: l}
+	if ann != nil {
+		dv, err := provdata.LabelData(ann, l)
+		if err != nil {
+			return nil, err
+		}
+		sess.DataView = dv
+	}
+	return sess, nil
+}
+
+func (st *Store) runPath(name, ext string) string {
+	return filepath.Join(st.dir, "runs", name+ext)
+}
+
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("store: invalid run name %q", name)
+	}
+	return nil
+}

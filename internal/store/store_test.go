@@ -1,0 +1,129 @@
+package store_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/provdata"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := spec.PaperSpec()
+	st, err := store.Create(dir, s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var originals []*run.Run
+	for i, target := range []int{50, 200, 800} {
+		r, _ := run.GenerateSized(s, rng, target)
+		ann := provdata.RandomItems(r, rng, 1.3, 0.4)
+		name := []string{"small", "medium", "large"}[i]
+		if err := st.PutRun(name, r, ann, label.TCM{}); err != nil {
+			t.Fatalf("PutRun(%s): %v", name, err)
+		}
+		originals = append(originals, r)
+	}
+	// Reopen from disk.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.SpecName() != "paper" || st2.Spec().NumVertices() != s.NumVertices() {
+		t.Fatal("reopened spec mismatch")
+	}
+	names, err := st2.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "large" || names[1] != "medium" || names[2] != "small" {
+		t.Fatalf("Runs() = %v", names)
+	}
+	// Query from stored labels; verify against direct search on the
+	// stored graph.
+	for i, name := range []string{"small", "medium", "large"} {
+		sess, err := st2.OpenRun(name, label.TCM{})
+		if err != nil {
+			t.Fatalf("OpenRun(%s): %v", name, err)
+		}
+		if sess.Run.NumVertices() != originals[i].NumVertices() {
+			t.Fatalf("%s: stored run size changed", name)
+		}
+		if sess.DataView == nil {
+			t.Fatalf("%s: data items lost", name)
+		}
+		searcher := dag.NewSearcher(sess.Run.Graph)
+		n := sess.Run.NumVertices()
+		for q := 0; q < 1000; q++ {
+			u := dag.VertexID(rng.Intn(n))
+			v := dag.VertexID(rng.Intn(n))
+			if sess.Labels.Reachable(u, v) != searcher.ReachableBFS(u, v) {
+				t.Fatalf("%s: stored labels wrong at (%d,%d)", name, u, v)
+			}
+		}
+	}
+}
+
+func TestStoreDifferentQueryScheme(t *testing.T) {
+	// Labels stored under TCM must be queryable with any other skeleton
+	// scheme: the snapshot stores only positions + origin references.
+	dir := t.TempDir()
+	s := spec.PaperSpec()
+	st, err := store.Create(dir, s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	r, _ := run.GenerateSized(s, rng, 300)
+	if err := st.PutRun("r", r, nil, label.TCM{}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := st.OpenRun("r", label.BFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	searcher := dag.NewSearcher(sess.Run.Graph)
+	for q := 0; q < 1000; q++ {
+		u := dag.VertexID(rng.Intn(sess.Run.NumVertices()))
+		v := dag.VertexID(rng.Intn(sess.Run.NumVertices()))
+		if sess.Labels.Reachable(u, v) != searcher.ReachableBFS(u, v) {
+			t.Fatal("cross-scheme query wrong")
+		}
+	}
+	if sess.DataView != nil {
+		t.Error("run stored without data should have nil DataView")
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	s := spec.PaperSpec()
+	st, err := store.Create(dir, s, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := run.MustMaterialize(s, run.SingleExec(s))
+	for _, bad := range []string{"", "a/b", "..", `a\b`} {
+		if err := st.PutRun(bad, r, nil, label.TCM{}); err == nil {
+			t.Errorf("PutRun accepted name %q", bad)
+		}
+	}
+	if _, err := st.OpenRun("missing", label.TCM{}); err == nil {
+		t.Error("OpenRun accepted missing run")
+	}
+	if _, err := store.Open(t.TempDir()); err == nil {
+		t.Error("Open accepted empty directory")
+	}
+	// Invalid run (origin corrupted) must be rejected at Put time.
+	badRun := &run.Run{Spec: s, Graph: r.Graph, Origin: append([]dag.VertexID(nil), r.Origin...)}
+	badRun.Origin[0] = 99
+	if err := st.PutRun("bad", badRun, nil, label.TCM{}); err == nil {
+		t.Error("PutRun accepted invalid run")
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/spec"
+)
+
+// RealWorkflow is one of the six real-life scientific workflows of
+// Table 1, identified by name and by the four published structural
+// parameters. The specifications themselves are synthesized to match the
+// parameters exactly (see the package comment for the substitution
+// rationale).
+type RealWorkflow struct {
+	Name   string
+	Params Params
+}
+
+// RealWorkflows returns the six workflows of Table 1 in paper order.
+func RealWorkflows() []RealWorkflow {
+	return []RealWorkflow{
+		{"EBI", Params{NG: 29, MG: 31, TGSize: 4, TGDepth: 2}},
+		{"PubMed", Params{NG: 35, MG: 45, TGSize: 3, TGDepth: 3}},
+		{"QBLAST", Params{NG: 58, MG: 72, TGSize: 6, TGDepth: 3}},
+		{"BioAID", Params{NG: 71, MG: 87, TGSize: 10, TGDepth: 4}},
+		{"ProScan", Params{NG: 89, MG: 119, TGSize: 9, TGDepth: 4}},
+		{"ProDisc", Params{NG: 111, MG: 158, TGSize: 9, TGDepth: 3}},
+	}
+}
+
+// StandIn synthesizes the named Table-1 workflow deterministically from
+// the given seed.
+func StandIn(name string, seed int64) (*spec.Spec, error) {
+	for _, w := range RealWorkflows() {
+		if w.Name == name {
+			return Synthesize(rand.New(rand.NewSource(seed)), w.Params)
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown real workflow %q", name)
+}
+
+// MustStandIn panics on error, for tests and benchmarks.
+func MustStandIn(name string, seed int64) *spec.Spec {
+	s, err := StandIn(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RunSizes returns the paper's run-size sweep: 0.1K to 102.4K vertices,
+// doubling each step (Section 8's x-axis).
+func RunSizes() []int {
+	sizes := make([]int, 0, 11)
+	for n := 100; n <= 102_400; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// QueryPairs generates q uniformly random vertex-pair queries over a run
+// of n vertices, as in the paper's 10⁶-query samples.
+func QueryPairs(rng *rand.Rand, n, q int) [][2]int32 {
+	out := make([][2]int32, q)
+	for i := range out {
+		out[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return out
+}

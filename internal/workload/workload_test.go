@@ -1,0 +1,215 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func TestSynthesizeExactParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []workload.Params{
+		{NG: 20, MG: 19, TGSize: 1, TGDepth: 1},
+		{NG: 20, MG: 25, TGSize: 3, TGDepth: 2},
+		{NG: 50, MG: 100, TGSize: 10, TGDepth: 4},
+		{NG: 100, MG: 200, TGSize: 10, TGDepth: 4}, // the Fig 15-17 workload
+		{NG: 50, MG: 100, TGSize: 10, TGDepth: 4},  // Fig 18-20 small
+		{NG: 200, MG: 400, TGSize: 10, TGDepth: 4}, // Fig 18-20 large
+		{NG: 30, MG: 40, TGSize: 6, TGDepth: 5, ForkFraction: 0.8},
+		{NG: 30, MG: 40, TGSize: 6, TGDepth: 5, ForkFraction: 0.2},
+	}
+	for _, p := range cases {
+		for trial := 0; trial < 3; trial++ {
+			s, err := workload.Synthesize(rng, p)
+			if err != nil {
+				t.Fatalf("%v: %v", p, err)
+			}
+			if s.NumVertices() != p.NG || s.NumEdges() != p.MG {
+				t.Errorf("%v: got %dv/%de", p, s.NumVertices(), s.NumEdges())
+			}
+			if s.Hier.NumNodes() != p.TGSize || s.Hier.MaxDepth != p.TGDepth {
+				t.Errorf("%v: got |TG|=%d [TG]=%d", p, s.Hier.NumNodes(), s.Hier.MaxDepth)
+			}
+		}
+	}
+}
+
+func TestSynthesizeInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []workload.Params{
+		{NG: 5, MG: 4, TGSize: 0, TGDepth: 1},    // TGSize < 1
+		{NG: 5, MG: 4, TGSize: 1, TGDepth: 2},    // depth without subgraphs
+		{NG: 5, MG: 4, TGSize: 2, TGDepth: 1},    // subgraphs need depth >= 2
+		{NG: 5, MG: 4, TGSize: 3, TGDepth: 4},    // 2 subgraphs cannot reach depth 4
+		{NG: 4, MG: 10, TGSize: 3, TGDepth: 2},   // below structural minimum
+		{NG: 10, MG: 5, TGSize: 1, TGDepth: 1},   // fewer than nG-1 edges
+		{NG: 10, MG: 500, TGSize: 1, TGDepth: 1}, // more edges than slots
+	}
+	for _, p := range cases {
+		if _, err := workload.Synthesize(rng, p); err == nil {
+			t.Errorf("%v: infeasible parameters accepted", p)
+		}
+	}
+}
+
+func TestRealWorkflowStandIns(t *testing.T) {
+	for _, w := range workload.RealWorkflows() {
+		s, err := workload.StandIn(w.Name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if s.NumVertices() != w.Params.NG || s.NumEdges() != w.Params.MG ||
+			s.Hier.NumNodes() != w.Params.TGSize || s.Hier.MaxDepth != w.Params.TGDepth {
+			t.Errorf("%s: parameters not matched exactly: got %d/%d/%d/%d want %v",
+				w.Name, s.NumVertices(), s.NumEdges(), s.Hier.NumNodes(), s.Hier.MaxDepth, w.Params)
+		}
+	}
+	if _, err := workload.StandIn("nope", 1); err == nil {
+		t.Error("unknown workflow accepted")
+	}
+}
+
+func TestStandInDeterministic(t *testing.T) {
+	a := workload.MustStandIn("QBLAST", 3)
+	b := workload.MustStandIn("QBLAST", 3)
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different specs")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestRunSizes(t *testing.T) {
+	sizes := workload.RunSizes()
+	if len(sizes) != 11 || sizes[0] != 100 || sizes[10] != 102_400 {
+		t.Fatalf("RunSizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Fatal("sizes must double")
+		}
+	}
+}
+
+func TestQueryPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	qs := workload.QueryPairs(rng, 50, 1000)
+	if len(qs) != 1000 {
+		t.Fatal("wrong query count")
+	}
+	for _, q := range qs {
+		if q[0] < 0 || q[0] >= 50 || q[1] < 0 || q[1] >= 50 {
+			t.Fatal("query out of range")
+		}
+	}
+}
+
+// Property: synthetic specs support the full pipeline — runs generate,
+// plans reconstruct, and SKL answers match the BFS oracle.
+func TestQuickSyntheticEndToEnd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.Params{
+			NG:      15 + rng.Intn(60),
+			TGSize:  1 + rng.Intn(6),
+			TGDepth: 1,
+		}
+		if p.TGSize > 1 {
+			maxDepth := p.TGSize // depth-1 <= k
+			if maxDepth > 4 {
+				maxDepth = 4
+			}
+			p.TGDepth = 2 + rng.Intn(maxDepth-1)
+		}
+		p.MG = p.NG - 1 + rng.Intn(p.NG/2)
+		s, err := workload.Synthesize(rng, p)
+		if err != nil {
+			// Structural minimum can exceed NG for unlucky draws; that is
+			// a legitimate rejection, not a failure.
+			return true
+		}
+		et := run.RandomExecSteps(s, rng, rng.Intn(40))
+		r, truth := run.MustMaterialize(s, et)
+		if err := r.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		skel, err := label.TCM{}.Build(s.Graph)
+		if err != nil {
+			return false
+		}
+		l, err := core.LabelRun(r, skel)
+		if err != nil {
+			t.Logf("seed %d: label: %v", seed, err)
+			return false
+		}
+		lp, err := core.LabelRunWithPlan(r, truth, skel)
+		if err != nil {
+			return false
+		}
+		searcher := dag.NewSearcher(r.Graph)
+		n := r.NumVertices()
+		for q := 0; q < 300; q++ {
+			u := dag.VertexID(rng.Intn(n))
+			v := dag.VertexID(rng.Intn(n))
+			want := searcher.ReachableBFS(u, v)
+			if l.Reachable(u, v) != want || lp.Reachable(u, v) != want {
+				t.Logf("seed %d: mismatch (%d,%d)", seed, u, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The six stand-ins drive the full pipeline at moderate scale.
+func TestStandInsEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, w := range workload.RealWorkflows() {
+		s := workload.MustStandIn(w.Name, 7)
+		r, _ := run.GenerateSized(s, rng, 2000)
+		skel, _ := label.TCM{}.Build(s.Graph)
+		l, err := core.LabelRun(r, skel)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		searcher := dag.NewSearcher(r.Graph)
+		n := r.NumVertices()
+		for q := 0; q < 500; q++ {
+			u := dag.VertexID(rng.Intn(n))
+			v := dag.VertexID(rng.Intn(n))
+			if l.Reachable(u, v) != searcher.ReachableBFS(u, v) {
+				t.Fatalf("%s: mismatch at (%d,%d)", w.Name, u, v)
+			}
+		}
+	}
+}
+
+var sink *spec.Spec
+
+func BenchmarkSynthesizeQBLAST(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := workload.Params{NG: 58, MG: 72, TGSize: 6, TGDepth: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := workload.Synthesize(rng, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = s
+	}
+}

@@ -1,0 +1,62 @@
+package xmlio_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/xmlio"
+)
+
+// FuzzDecodeSpec ensures arbitrary XML never panics the spec decoder and
+// that anything it accepts is a valid specification.
+func FuzzDecodeSpec(f *testing.F) {
+	var seed bytes.Buffer
+	if err := xmlio.EncodeSpec(&seed, spec.PaperSpec(), "paper"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`<workflow><modules><module name="a"/><module name="b"/></modules><edges><edge from="a" to="b"/></edges></workflow>`)
+	f.Add(`<workflow>`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, _, err := xmlio.DecodeSpec(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy the full model validation.
+		if err := spec.Validate(s); err != nil {
+			t.Fatalf("decoder accepted invalid spec: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeRun ensures arbitrary XML never panics the run decoder and
+// that accepted runs pass validation against the paper specification.
+func FuzzDecodeRun(f *testing.F) {
+	s := spec.PaperSpec()
+	r, _ := run.Figure3Run(s)
+	var seed bytes.Buffer
+	if err := xmlio.EncodeRun(&seed, r, nil, "paper"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`<run><vertices><vertex id="0" module="a"/></vertices><edges/></run>`)
+	f.Add(`<run>`)
+	f.Fuzz(func(t *testing.T, input string) {
+		decoded, ann, err := xmlio.DecodeRun(strings.NewReader(input), s)
+		if err != nil {
+			return
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid run: %v", err)
+		}
+		if ann != nil {
+			if err := ann.Validate(); err != nil {
+				t.Fatalf("decoder accepted invalid annotation: %v", err)
+			}
+		}
+	})
+}

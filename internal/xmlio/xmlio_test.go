@@ -1,0 +1,172 @@
+package xmlio_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/provdata"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/workload"
+	"repro/internal/xmlio"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range []*spec.Spec{spec.PaperSpec(), spec.IntroSpec(), spec.LinearSpec(4)} {
+		var buf bytes.Buffer
+		if err := xmlio.EncodeSpec(&buf, s, "test"); err != nil {
+			t.Fatal(err)
+		}
+		got, name, err := xmlio.DecodeSpec(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v\nxml:\n%s", err, buf.String())
+		}
+		if name != "test" {
+			t.Errorf("name = %q", name)
+		}
+		if got.NumVertices() != s.NumVertices() || got.NumEdges() != s.NumEdges() {
+			t.Errorf("shape changed: %d/%d -> %d/%d",
+				s.NumVertices(), s.NumEdges(), got.NumVertices(), got.NumEdges())
+		}
+		if len(got.Subgraphs) != len(s.Subgraphs) {
+			t.Errorf("subgraph count changed")
+		}
+		if got.Hier.NumNodes() != s.Hier.NumNodes() || got.Hier.MaxDepth != s.Hier.MaxDepth {
+			t.Errorf("hierarchy changed")
+		}
+		// Same module names in same vertex order.
+		for v := 0; v < s.NumVertices(); v++ {
+			if got.Names[v] != s.Names[v] {
+				t.Errorf("vertex %d renamed %q -> %q", v, s.Names[v], got.Names[v])
+			}
+		}
+	}
+}
+
+func TestRunRoundTripWithData(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(3))
+	et := run.RandomExecSteps(s, rng, 12)
+	r, _ := run.MustMaterialize(s, et)
+	ann := provdata.RandomItems(r, rng, 1.5, 0.5)
+	var buf bytes.Buffer
+	if err := xmlio.EncodeRun(&buf, r, ann, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	got, gotAnn, err := xmlio.DecodeRun(&buf, s)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.NumVertices() != r.NumVertices() || got.NumEdges() != r.NumEdges() {
+		t.Error("run shape changed")
+	}
+	for v := 0; v < r.NumVertices(); v++ {
+		if got.Origin[v] != r.Origin[v] {
+			t.Fatalf("origin changed at %d", v)
+		}
+	}
+	if gotAnn == nil {
+		t.Fatal("annotation lost")
+	}
+	if len(gotAnn.Items) != len(ann.Items) {
+		t.Fatalf("item count %d -> %d", len(ann.Items), len(gotAnn.Items))
+	}
+	// Items match by (producer, name) with equal consumer multisets.
+	type key struct {
+		p    int32
+		name string
+	}
+	want := make(map[key]int)
+	for _, it := range ann.Items {
+		want[key{int32(it.Producer), it.Name}] = len(it.Consumers)
+	}
+	for _, it := range gotAnn.Items {
+		if want[key{int32(it.Producer), it.Name}] != len(it.Consumers) {
+			t.Fatalf("item %s consumers changed", it.Name)
+		}
+	}
+}
+
+func TestRunRoundTripWithoutData(t *testing.T) {
+	s := spec.IntroSpec()
+	r, _ := run.MustMaterialize(s, run.SingleExec(s))
+	var buf bytes.Buffer
+	if err := xmlio.EncodeRun(&buf, r, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, ann, err := xmlio.DecodeRun(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann != nil {
+		t.Error("expected nil annotation")
+	}
+	if got.NumEdges() != r.NumEdges() {
+		t.Error("edges changed")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := spec.IntroSpec()
+	cases := []struct {
+		name, xml string
+	}{
+		{"garbage", "<run><nope"},
+		{"unknown module", `<run><vertices><vertex id="0" module="zz"/></vertices><edges></edges></run>`},
+		{"non-dense ids", `<run><vertices><vertex id="5" module="a"/></vertices><edges></edges></run>`},
+		{"edge out of range", `<run><vertices><vertex id="0" module="a"/></vertices><edges><edge from="0" to="9"/></edges></run>`},
+	}
+	for _, c := range cases {
+		if _, _, err := xmlio.DecodeRun(strings.NewReader(c.xml), s); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	specCases := []struct {
+		name, xml string
+	}{
+		{"garbage", "<workflow"},
+		{"bad kind", `<workflow><modules><module name="a"/><module name="b"/></modules><edges><edge from="a" to="b"/></edges><subgraphs><subgraph kind="zig"><edge from="a" to="b"/></subgraph></subgraphs></workflow>`},
+		{"unknown edge module", `<workflow><modules><module name="a"/></modules><edges><edge from="a" to="zz"/></edges></workflow>`},
+		{"unknown subgraph module", `<workflow><modules><module name="a"/><module name="b"/></modules><edges><edge from="a" to="b"/></edges><subgraphs><subgraph kind="loop"><edge from="a" to="qq"/></subgraph></subgraphs></workflow>`},
+	}
+	for _, c := range specCases {
+		if _, _, err := xmlio.DecodeSpec(strings.NewReader(c.xml)); err == nil {
+			t.Errorf("spec %s: accepted", c.name)
+		}
+	}
+}
+
+// Property: synthetic specs round-trip exactly.
+func TestQuickSyntheticSpecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.Params{NG: 20 + rng.Intn(40), TGSize: 1 + rng.Intn(5), TGDepth: 1}
+		if p.TGSize > 1 {
+			p.TGDepth = 2
+		}
+		p.MG = p.NG + rng.Intn(20)
+		s, err := workload.Synthesize(rng, p)
+		if err != nil {
+			return true // infeasible draw
+		}
+		var buf bytes.Buffer
+		if err := xmlio.EncodeSpec(&buf, s, "w"); err != nil {
+			return false
+		}
+		got, _, err := xmlio.DecodeSpec(&buf)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return got.NumVertices() == s.NumVertices() &&
+			got.NumEdges() == s.NumEdges() &&
+			got.Hier.NumNodes() == s.Hier.NumNodes() &&
+			got.Hier.MaxDepth == s.Hier.MaxDepth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool executes one of the cmd/ tools via `go run` and returns its
+// combined output. These are end-to-end integration tests of the
+// binaries; skipped under -short.
+func runTool(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func runToolExpectError(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+func TestToolPipeline(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.xml")
+	runPath := filepath.Join(dir, "run.xml")
+
+	out := runTool(t, "provgen", "-paper", "-spec", specPath, "-run", runPath, "-size", "80", "-data", "-seed", "5")
+	if !strings.Contains(out, "wrote specification") || !strings.Contains(out, "wrote run") {
+		t.Fatalf("provgen output unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(specPath); err != nil {
+		t.Fatal(err)
+	}
+
+	out = runTool(t, "provquery", "-spec", specPath, "-run", runPath, "-stats", "-from", "a1", "-to", "h1", "-explain")
+	for _, want := range []string{"labels: max", "a1 -> h1: reachable", "via: a1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("provquery output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runTool(t, "provquery", "-spec", specPath, "-run", runPath, "-upstream", "h1", "-scheme", "Interval")
+	if !strings.Contains(out, "was derived from") {
+		t.Fatalf("provquery upstream output unexpected:\n%s", out)
+	}
+
+	out = runTool(t, "provquery", "-spec", specPath, "-run", runPath, "-affected", "x1")
+	if !strings.Contains(out, "items depend on x1") {
+		t.Fatalf("provquery affected output unexpected:\n%s", out)
+	}
+}
+
+func TestToolProvbench(t *testing.T) {
+	out := runTool(t, "provbench", "-list")
+	for _, want := range []string{"table1", "fig12", "fig20", "online"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("provbench -list missing %q", want)
+		}
+	}
+	csvDir := t.TempDir()
+	out = runTool(t, "provbench", "-exp", "table1,fig12", "-quick",
+		"-sizes", "100,400", "-queries", "2000", "-csv", csvDir)
+	for _, want := range []string{"Table 1", "Figure 12", "QBLAST"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("provbench output missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{"table1.csv", "fig12.csv"} {
+		data, err := os.ReadFile(filepath.Join(csvDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+			t.Fatalf("%s has no data rows", f)
+		}
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	out := runToolExpectError(t, "provbench", "-exp", "nope")
+	if !strings.Contains(out, "unknown experiment") {
+		t.Fatalf("provbench error message unexpected: %s", out)
+	}
+	out = runToolExpectError(t, "provgen")
+	if !strings.Contains(out, "choose") {
+		t.Fatalf("provgen error message unexpected: %s", out)
+	}
+	out = runToolExpectError(t, "provquery")
+	if !strings.Contains(out, "required") {
+		t.Fatalf("provquery error message unexpected: %s", out)
+	}
+}
+
+func TestToolProvdot(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.xml")
+	runPath := filepath.Join(dir, "run.xml")
+	runTool(t, "provgen", "-paper", "-spec", specPath, "-run", runPath, "-size", "40")
+	out := runTool(t, "provdot", "-spec", specPath)
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "cluster_f") {
+		t.Fatalf("spec DOT malformed:\n%s", out)
+	}
+	out = runTool(t, "provdot", "-spec", specPath, "-run", runPath, "-what", "run")
+	if !strings.Contains(out, "fillcolor") {
+		t.Fatalf("run DOT missing context coloring:\n%s", out)
+	}
+	out = runTool(t, "provdot", "-spec", specPath, "-run", runPath, "-what", "plan")
+	if !strings.Contains(out, "shape=box") {
+		t.Fatalf("plan DOT missing − boxes:\n%s", out)
+	}
+	out = runToolExpectError(t, "provdot", "-spec", specPath, "-what", "zzz")
+	if !strings.Contains(out, "unknown -what") {
+		t.Fatalf("provdot error unexpected: %s", out)
+	}
+}
+
+func TestToolQueryInteractive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.xml")
+	runPath := filepath.Join(dir, "run.xml")
+	runTool(t, "provgen", "-paper", "-spec", specPath, "-run", runPath, "-size", "40")
+	cmd := exec.Command("go", "run", "./cmd/provquery", "-spec", specPath, "-run", runPath, "-i")
+	cmd.Stdin = strings.NewReader("a1 h1\nh1 a1\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("interactive mode failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "true") || !strings.Contains(string(out), "false") {
+		t.Fatalf("interactive output unexpected:\n%s", out)
+	}
+}
+
+func TestToolGenSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "s.xml")
+	out := runTool(t, "provgen", "-ng", "40", "-mg", "60", "-tgsize", "5", "-tgdepth", "3", "-spec", specPath)
+	if !strings.Contains(out, "nG=40 mG=60 |TG|=5 [TG]=3") {
+		t.Fatalf("synthetic parameters not reported:\n%s", out)
+	}
+	out = runTool(t, "provgen", "-standin", "EBI", "-spec", specPath)
+	if !strings.Contains(out, "nG=29 mG=31") {
+		t.Fatalf("EBI stand-in parameters wrong:\n%s", out)
+	}
+}

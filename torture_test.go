@@ -1,0 +1,147 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// tortureSpecs builds adversarial specifications: deeply nested
+// alternating fork/loop chains, loops of loops sharing terminals with
+// the run boundary, and wide flat fans.
+func tortureSpecs(t *testing.T) map[string]*repro.Spec {
+	t.Helper()
+	out := make(map[string]*repro.Spec)
+
+	{ // Deep alternation: fork(loop(fork(loop(...)))) six levels down.
+		b := repro.NewSpecBuilder()
+		b.Chain("s", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "t")
+		b.Fork("s", "t", "a1", "a2", "a3", "a4", "a5", "a6", "a7")
+		b.Loop("a1", "a7", "a2", "a3", "a4", "a5", "a6")
+		b.Fork("a1", "a7", "a2", "a3", "a4", "a5", "a6")
+		b.Loop("a2", "a6", "a3", "a4", "a5")
+		b.Fork("a2", "a6", "a3", "a4", "a5")
+		b.Loop("a3", "a5", "a4")
+		s, err := b.Build()
+		if err != nil {
+			t.Fatalf("deep alternation: %v", err)
+		}
+		out["deep-alternation"] = s
+	}
+
+	{ // Boundary-sharing loop chain: loops hugging source and sink.
+		b := repro.NewSpecBuilder()
+		b.Chain("s", "x", "y", "z", "t")
+		b.Loop("s", "x")
+		b.Loop("y", "z")
+		s, err := b.Build()
+		if err != nil {
+			t.Fatalf("boundary loops: %v", err)
+		}
+		out["boundary-loops"] = s
+	}
+
+	{ // Wide fan: eight parallel single-module forks between s and t.
+		b := repro.NewSpecBuilder()
+		names := []repro.ModuleName{"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"}
+		for _, n := range names {
+			b.Chain("s", n, "t")
+		}
+		for _, n := range names {
+			b.Fork("s", "t", n)
+		}
+		s, err := b.Build()
+		if err != nil {
+			t.Fatalf("wide fan: %v", err)
+		}
+		out["wide-fan"] = s
+	}
+
+	{ // Equal-edge fork/loop stack (the paper's F2/L2 pattern, doubled).
+		b := repro.NewSpecBuilder()
+		b.Chain("s", "u", "m", "v", "t")
+		b.Loop("u", "v", "m")
+		b.Fork("u", "v", "m")
+		b.Loop("s", "t", "u", "m", "v")
+		s, err := b.Build()
+		if err != nil {
+			t.Fatalf("equal-edge stack: %v", err)
+		}
+		out["equal-edge-stack"] = s
+	}
+	return out
+}
+
+// TestTortureWorkloads runs the full pipeline on adversarial
+// specifications at moderate scale: generation, plan reconstruction,
+// labeling under two schemes, and oracle agreement.
+func TestTortureWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for name, s := range tortureSpecs(t) {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			for _, target := range []int{50, 500, 5000} {
+				r, truth := repro.GenerateRun(s, rng, target)
+				p, err := repro.ConstructPlan(r)
+				if err != nil {
+					t.Fatalf("target %d: construct: %v", target, err)
+				}
+				if p.Canonical() != truth.Canonical() {
+					t.Fatalf("target %d: plan mismatch", target)
+				}
+				skelA, _ := repro.TCM.Build(s.Graph)
+				skelB, _ := repro.TwoHop.Build(s.Graph)
+				la, err := repro.LabelWithSkeleton(r, skelA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lb, err := repro.LabelWithSkeleton(r, skelB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := r.NumVertices()
+				for q := 0; q < 2000; q++ {
+					u := repro.VertexID(rng.Intn(n))
+					v := repro.VertexID(rng.Intn(n))
+					want := r.Graph.ReachableBFS(u, v)
+					if la.Reachable(u, v) != want || lb.Reachable(u, v) != want {
+						t.Fatalf("target %d: mismatch at (%d,%d)", target, u, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTortureDeepNesting verifies plan depth and label bounds on a run
+// dominated by one hot loop iterated hundreds of times.
+func TestTortureDeepNesting(t *testing.T) {
+	// A single loop over one module pair, iterated hard.
+	b2 := repro.NewSpecBuilder()
+	b2.Chain("s", "x", "y", "t")
+	b2.Loop("x", "y")
+	s, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	r, _ := repro.GenerateRun(s, rng, 2000)
+	l, err := repro.LabelRun(r, repro.TCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A run that is one long chain: every query is decidable, most by
+	// context alone, and labels stay logarithmic.
+	if l.MaxLabelBits() > 3*16+3 {
+		t.Errorf("labels too long for a chain run: %d bits", l.MaxLabelBits())
+	}
+	n := r.NumVertices()
+	for q := 0; q < 3000; q++ {
+		u := repro.VertexID(rng.Intn(n))
+		v := repro.VertexID(rng.Intn(n))
+		if l.Reachable(u, v) != r.Graph.ReachableBFS(u, v) {
+			t.Fatalf("chain run mismatch at (%d,%d)", u, v)
+		}
+	}
+}
