@@ -1,0 +1,34 @@
+# The targets CI runs (see .github/workflows/ci.yml) — run the same
+# commands locally with `make ci`.
+
+GO ?= go
+STORE ?= ./provstore
+ADDR ?= :8080
+
+.PHONY: build test race bench fmt vet serve ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+serve:
+	$(GO) run ./cmd/provserve -store $(STORE) -addr $(ADDR)
+
+ci: fmt vet build race bench

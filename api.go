@@ -15,6 +15,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/provdata"
 	"repro/internal/run"
+	"repro/internal/server"
 	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -77,6 +78,13 @@ type (
 	Store = store.Store
 	// StoreSession is one stored run opened for querying.
 	StoreSession = store.Session
+	// QueryServer is a concurrent HTTP provenance query service over a
+	// Store, with an LRU session cache and a batched query endpoint.
+	QueryServer = server.Server
+	// ServerConfig configures a QueryServer.
+	ServerConfig = server.Config
+	// ServerCacheStats reports the query server's session cache counters.
+	ServerCacheStats = server.CacheStats
 )
 
 // Specification labeling schemes (Section 7).
@@ -283,3 +291,11 @@ func CreateStore(dir string, s *Spec, name string) (*Store, error) {
 
 // OpenStore loads an existing provenance store.
 func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// NewServer builds a provenance query server (an http.Handler) over an
+// opened store. See cmd/provserve for the standalone daemon.
+func NewServer(cfg ServerConfig) (*QueryServer, error) { return server.New(cfg) }
+
+// Serve answers provenance queries over HTTP on addr until the listener
+// fails; it is NewServer plus http.Server plumbing.
+func Serve(addr string, cfg ServerConfig) error { return server.ListenAndServe(addr, cfg) }

@@ -6,8 +6,11 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
 
 	"repro"
@@ -255,6 +258,56 @@ func BenchmarkOnlineAppend(b *testing.B) {
 		if _, err := l.AddExec(c, eOrig); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerBatchReachable measures the query server's batched
+// reachability path end to end — JSON decode, cache-hit session lookup,
+// the constant-time Reachable per pair, JSON encode — as the serving
+// layer's perf baseline. Per-pair cost should approach the raw
+// Labeling.Reachable cost as the batch grows.
+func BenchmarkServerBatchReachable(b *testing.B) {
+	r := benchRun(b, 5000)
+	st, err := repro.CreateStore(b.TempDir(), r.Spec, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.PutRun("r1", r, nil, repro.TCM); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := r.NumVertices()
+	for _, size := range []int{1, 64, 1024} {
+		pairs := make([][2]string, size)
+		for i := range pairs {
+			pairs[i] = [2]string{fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n))}
+		}
+		body, err := json.Marshal(map[string]any{"run": "r1", "pairs": pairs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("pairs=%d", size), func(b *testing.B) {
+			// Warm the session cache so the loop measures pure cache-hit
+			// serving (zero disk I/O).
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("POST", "/batch", bytes.NewReader(body)))
+			if rec.Code != 200 {
+				b.Fatalf("warmup: status %d body %s", rec.Code, rec.Body.String())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest("POST", "/batch", bytes.NewReader(body)))
+				if rec.Code != 200 {
+					b.Fatalf("status %d", rec.Code)
+				}
+			}
+		})
 	}
 }
 

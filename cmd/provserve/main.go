@@ -1,0 +1,58 @@
+// Command provserve serves provenance queries over an on-disk store as a
+// concurrent HTTP/JSON API.
+//
+// Usage:
+//
+//	provserve -store ./provstore
+//	provserve -store ./provstore -addr :9090 -scheme BFS -cache 64 -max-batch 16384
+//
+// Endpoints (see internal/server):
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/specs
+//	curl localhost:8080/runs
+//	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
+//	curl -d '{"run":"r1","pairs":[["b1","c3"],["c1","b2"]]}' localhost:8080/batch
+//	curl 'localhost:8080/lineage?run=r1&vertex=h1&dir=up'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dir      = flag.String("store", "", "provenance store directory (required)")
+		scheme   = flag.String("scheme", "TCM", "skeleton scheme for loaded sessions (TCM, BFS, DFS, Interval, Chain, 2-Hop, Dual)")
+		cache    = flag.Int("cache", 16, "maximum cached run sessions (LRU)")
+		maxBatch = flag.Int("max-batch", 8192, "maximum pairs per /batch request")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "provserve: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := repro.OpenStore(*dir)
+	if err != nil {
+		log.Fatalf("provserve: %v", err)
+	}
+	sch, err := repro.SpecSchemeByName(*scheme)
+	if err != nil {
+		log.Fatalf("provserve: %v", err)
+	}
+	log.Printf("provserve: serving store %q (spec %q, scheme %s) on %s", *dir, st.SpecName(), sch.Name(), *addr)
+	err = repro.Serve(*addr, repro.ServerConfig{
+		Store:     st,
+		Scheme:    sch,
+		CacheSize: *cache,
+		MaxBatch:  *maxBatch,
+	})
+	log.Fatalf("provserve: %v", err)
+}

@@ -31,6 +31,22 @@
 //	labeled, err := repro.LabelRun(run, repro.TCM)
 //	reachable := labeled.Reachable(u, v)
 //
-// See examples/ for complete programs and cmd/provbench for the paper's
-// full experimental suite.
+// # Serving stored provenance
+//
+// Labels are computed once at ingest and then serve queries forever:
+// persist labeled runs with a Store and answer reachability over HTTP
+// with the concurrent query service (an LRU session cache keeps hot runs
+// in memory, so cache-hit queries do zero disk I/O):
+//
+//	st, _ := repro.CreateStore("provstore", spec, "my-workflow")
+//	_ = st.PutRun("r1", run, nil, repro.TCM)
+//	log.Fatal(repro.Serve(":8080", repro.ServerConfig{Store: st}))
+//
+// or standalone: `provserve -store provstore`, then
+//
+//	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
+//	curl -d '{"run":"r1","pairs":[["b1","c3"],["c1","b2"]]}' localhost:8080/batch
+//
+// See examples/ for complete programs, cmd/provbench for the paper's
+// full experimental suite, and cmd/provserve for the query daemon.
 package repro

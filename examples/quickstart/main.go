@@ -1,12 +1,17 @@
 // Quickstart: build the paper's running example specification, generate a
-// run, label it with the skeleton-based scheme and answer the three
-// provenance queries from the paper's introduction.
+// run, label it with the skeleton-based scheme, answer the three
+// provenance queries from the paper's introduction, and finally serve the
+// labeled run over HTTP the way a production deployment would.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"os"
 
 	"repro"
 )
@@ -67,6 +72,42 @@ func main() {
 		}
 		fmt.Printf("does %s depend on %s? %v (%s%s)\n", q.to, q.from, fl.Reachable(u, v), q.why, byContext)
 	}
+
+	// Persist the labeled run and serve it. In production this is
+	// `provserve -store <dir>`; here the server runs in-process on an
+	// ephemeral port and answers one query before exiting.
+	dir, err := os.MkdirTemp("", "provstore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := repro.CreateStore(dir, s, "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.PutRun("figure3", fr, nil, repro.TCM); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Store: st})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv)
+	url := fmt.Sprintf("http://%s/reachable?run=figure3&from=b1&to=c3", ln.Addr())
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	answer, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET %s\n%s", url, answer)
 }
 
 func mustVertex(r *repro.Run, name string) repro.VertexID {

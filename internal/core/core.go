@@ -38,6 +38,15 @@ type Label struct {
 
 // Labeling is a labeled run: it answers reachability queries over run
 // vertices in constant time plus at most one skeleton query.
+//
+// A Labeling is immutable after construction. All query methods
+// (Reachable, ReachableLabels, AnsweredByContext, Label, the statistics
+// accessors) only read the label slice and delegate to the skeleton
+// labeling, whose implementations are likewise safe for concurrent
+// queries (see internal/label); any number of goroutines may query one
+// Labeling concurrently with no external locking. WriteTo also only
+// reads. This is the contract the store sessions and the query server
+// build on, enforced by -race tests here and in those packages.
 type Labeling struct {
 	labels        []Label
 	skeleton      label.Labeling

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// sessionCache is an LRU cache of opened store sessions with
+// singleflight-style load deduplication: when N requests arrive
+// concurrently for a run that is not cached, exactly one performs the
+// disk load while the others block on the in-flight entry and share its
+// result. Cache hits never touch disk — the session (run graph, labels,
+// data view, namer) lives entirely in memory.
+type sessionCache struct {
+	loadFn func(name string) (*session, error)
+
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element // run name -> element holding *cacheEntry
+	order   *list.List               // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheEntry is one cached (or in-flight) session load. ready is closed
+// once sess/err are set; waiters block on it without holding the cache
+// lock, so a slow disk load never serializes hits on other runs.
+type cacheEntry struct {
+	name  string
+	ready chan struct{}
+	sess  *session
+	err   error
+}
+
+func newSessionCache(max int, load func(string) (*session, error)) *sessionCache {
+	if max < 1 {
+		max = 1
+	}
+	return &sessionCache{
+		loadFn:  load,
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the session for the named run, loading it at most once no
+// matter how many goroutines ask concurrently. Failed loads are not
+// cached: the next Get retries the disk.
+func (c *sessionCache) Get(name string) (*session, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[name]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.sess, e.err
+	}
+	c.misses.Add(1)
+	e := &cacheEntry{name: name, ready: make(chan struct{})}
+	el := c.order.PushFront(e)
+	c.entries[name] = el
+	c.mu.Unlock()
+
+	sess, err := c.loadFn(name)
+	e.sess, e.err = sess, err
+	close(e.ready)
+
+	// Eviction runs only after the load resolves: a failed load (e.g. a
+	// request for a run that doesn't exist) removes itself and never
+	// evicts a live session, so bogus run names can't thrash the cache.
+	// The cache may transiently exceed max by the number of in-flight
+	// loads; max >= 1 keeps a just-loaded entry at the front safe.
+	c.mu.Lock()
+	if err != nil {
+		// Drop the failed entry unless it was already evicted or replaced.
+		if cur, ok := c.entries[name]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, name)
+		}
+	} else {
+		for c.order.Len() > c.max {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).name)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	return sess, err
+}
+
+// Len returns the number of cached (or in-flight) sessions.
+func (c *sessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a snapshot of the session cache's counters.
+type CacheStats struct {
+	Cached    int   `json:"cached"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *sessionCache) Stats() CacheStats {
+	return CacheStats{
+		Cached:    c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

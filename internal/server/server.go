@@ -1,0 +1,398 @@
+// Package server is a concurrent provenance query service over an
+// on-disk store: an HTTP/JSON API answering reachability and lineage
+// queries from stored skeleton labels. It is the serving layer the paper
+// motivates — labels are computed once at ingest (store.PutRun) and then
+// answer constant-time queries for many concurrent clients.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness + cache statistics
+//	GET  /specs                the store's specification (modules, channels)
+//	GET  /runs                 stored run names
+//	GET  /runs?run=R           one run's size and label statistics
+//	GET  /reachable?run=R&from=U&to=V
+//	                           one reachability query
+//	POST /batch                {"run":R,"pairs":[[U,V],...]} -> {"results":[...]}
+//	GET  /lineage?run=R&vertex=V&dir=up|down
+//	                           the vertex's upstream or downstream cone
+//
+// Vertices are addressed by occurrence name ("b2" = second execution of
+// module b) or by numeric vertex ID. All handlers are safe for concurrent
+// use: sessions are immutable once loaded (see the store package's
+// concurrency contract) and shared through an LRU cache with singleflight
+// load dedup, so a cache hit answers queries with zero disk I/O.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/lineage"
+	"repro/internal/run"
+	"repro/internal/store"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the opened provenance store to serve. Required.
+	Store *store.Store
+	// Scheme labels the specification skeleton when sessions are loaded.
+	// Defaults to TCM (constant-time skeleton queries).
+	Scheme label.Scheme
+	// CacheSize bounds the number of concurrently cached run sessions
+	// (LRU eviction beyond it). Defaults to 16.
+	CacheSize int
+	// MaxBatch bounds the number of pairs accepted by one /batch request.
+	// Defaults to 8192.
+	MaxBatch int
+}
+
+// Server answers provenance queries over one store. It is an
+// http.Handler; all methods are safe for concurrent use.
+type Server struct {
+	st       *store.Store
+	scheme   label.Scheme
+	cache    *sessionCache
+	maxBatch int
+	mux      *http.ServeMux
+}
+
+// session is one cached run: the stored session plus the name index,
+// both immutable after load.
+type session struct {
+	*store.Session
+	namer *run.Namer
+}
+
+// New builds a Server for the configured store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = label.TCM{}
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 16
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8192
+	}
+	s := &Server{
+		st:       cfg.Store,
+		scheme:   cfg.Scheme,
+		maxBatch: cfg.MaxBatch,
+		mux:      http.NewServeMux(),
+	}
+	s.cache = newSessionCache(cfg.CacheSize, s.load)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/specs", s.handleSpecs)
+	s.mux.HandleFunc("/runs", s.handleRuns)
+	s.mux.HandleFunc("/reachable", s.handleReachable)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/lineage", s.handleLineage)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns the session cache's counters.
+func (s *Server) Stats() CacheStats { return s.cache.Stats() }
+
+// ListenAndServe builds a Server and serves it on addr until the
+// listener fails. The http.Server carries read/idle timeouts so slow or
+// idle clients cannot pin connections forever.
+func ListenAndServe(addr string, cfg Config) error {
+	s, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}
+
+// load opens one run from disk; it runs at most once per run name at a
+// time (singleflight in the cache) and its result is shared by all
+// subsequent cache hits.
+func (s *Server) load(name string) (*session, error) {
+	sess, err := s.st.OpenRun(name, s.scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &session{Session: sess, namer: run.NewNamer(sess.Run)}, nil
+}
+
+// session resolves the run named in the request, translating load
+// failures into HTTP errors. A missing run file is 404; anything else
+// (corrupt snapshot, unreadable store) is 500.
+func (s *Server) session(w http.ResponseWriter, name string) (*session, bool) {
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, "missing 'run' parameter")
+		return nil, false
+	}
+	if err := store.ValidRunName(name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	sess, err := s.cache.Get(name)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeErr(w, http.StatusNotFound, "unknown run %q", name)
+		} else {
+			writeErr(w, http.StatusInternalServerError, "loading run %q: %v", name, err)
+		}
+		return nil, false
+	}
+	return sess, true
+}
+
+// vertex resolves a vertex reference: an occurrence name ("b2") first —
+// so every name the server itself emits resolves, even when module
+// names start with digits — falling back to a numeric vertex ID.
+func (se *session) vertex(ref string) (dag.VertexID, bool) {
+	if ref == "" {
+		return 0, false
+	}
+	if v, ok := se.namer.Vertex(ref); ok {
+		return v, true
+	}
+	id, err := strconv.Atoi(ref)
+	if err != nil || id < 0 || id >= se.Run.NumVertices() {
+		return 0, false
+	}
+	return dag.VertexID(id), true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"spec":   s.st.SpecName(),
+		"scheme": s.scheme.Name(),
+		"cache":  s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	sp := s.st.Spec()
+	modules := make([]string, sp.NumVertices())
+	for v := range modules {
+		modules[v] = string(sp.NameOf(dag.VertexID(v)))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":     s.st.SpecName(),
+		"vertices": sp.NumVertices(),
+		"edges":    sp.NumEdges(),
+		"modules":  modules,
+	})
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	name := r.URL.Query().Get("run")
+	if name == "" {
+		runs, err := s.st.Runs()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "listing runs: %v", err)
+			return
+		}
+		if runs == nil {
+			runs = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+		return
+	}
+	sess, ok := s.session(w, name)
+	if !ok {
+		return
+	}
+	items := 0
+	if sess.Data != nil {
+		items = len(sess.Data.Items)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run":            name,
+		"vertices":       sess.Run.NumVertices(),
+		"edges":          sess.Run.NumEdges(),
+		"data_items":     items,
+		"max_label_bits": sess.Labels.MaxLabelBits(),
+		"avg_label_bits": sess.Labels.AvgLabelBits(),
+	})
+}
+
+func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	sess, ok := s.session(w, q.Get("run"))
+	if !ok {
+		return
+	}
+	from, to := q.Get("from"), q.Get("to")
+	if from == "" || to == "" {
+		writeErr(w, http.StatusBadRequest, "missing 'from' or 'to' parameter")
+		return
+	}
+	u, okU := sess.vertex(from)
+	v, okV := sess.vertex(to)
+	if !okU || !okV {
+		bad := from
+		if okU {
+			bad = to
+		}
+		writeErr(w, http.StatusNotFound, "unknown vertex %q", bad)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run":        q.Get("run"),
+		"from":       from,
+		"to":         to,
+		"reachable":  sess.Labels.Reachable(u, v),
+		"by_context": sess.Labels.AnsweredByContext(u, v),
+	})
+}
+
+// batchRequest is the /batch body: pairs of vertex references queried
+// over one run's labels.
+type batchRequest struct {
+	Run   string      `json:"run"`
+	Pairs [][2]string `json:"pairs"`
+}
+
+// batchResponse answers each pair in order.
+type batchResponse struct {
+	Run     string `json:"run"`
+	Count   int    `json:"count"`
+	Results []bool `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	// Bound the body by what maxBatch pairs could plausibly occupy.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*128+4096)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	if len(req.Pairs) > s.maxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d pairs exceeds limit %d", len(req.Pairs), s.maxBatch)
+		return
+	}
+	sess, ok := s.session(w, req.Run)
+	if !ok {
+		return
+	}
+	// The hot path: one []bool allocation for the whole batch, then a
+	// constant-time Reachable per pair — no per-pair allocation.
+	results := make([]bool, len(req.Pairs))
+	for i := range req.Pairs {
+		u, okU := sess.vertex(req.Pairs[i][0])
+		v, okV := sess.vertex(req.Pairs[i][1])
+		if !okU || !okV {
+			bad := req.Pairs[i][0]
+			if okU {
+				bad = req.Pairs[i][1]
+			}
+			writeErr(w, http.StatusNotFound, "pair %d: unknown vertex %q", i, bad)
+			return
+		}
+		results[i] = sess.Labels.Reachable(u, v)
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Run: req.Run, Count: len(results), Results: results})
+}
+
+func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	sess, ok := s.session(w, q.Get("run"))
+	if !ok {
+		return
+	}
+	ref := q.Get("vertex")
+	if ref == "" {
+		writeErr(w, http.StatusBadRequest, "missing 'vertex' parameter")
+		return
+	}
+	v, okV := sess.vertex(ref)
+	if !okV {
+		writeErr(w, http.StatusNotFound, "unknown vertex %q", ref)
+		return
+	}
+	dir := q.Get("dir")
+	var cone []dag.VertexID
+	switch dir {
+	case "", "up":
+		dir = "up"
+		cone = lineage.UpstreamByLabels(sess.Labels, v)
+	case "down":
+		cone = lineage.DownstreamByLabels(sess.Labels, v)
+	default:
+		writeErr(w, http.StatusBadRequest, "dir must be 'up' or 'down', got %q", dir)
+		return
+	}
+	names := make([]string, len(cone))
+	for i, u := range cone {
+		names[i] = sess.namer.Name(u)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run":       q.Get("run"),
+		"vertex":    ref,
+		"direction": dir,
+		"count":     len(names),
+		"cone":      names,
+	})
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/provdata"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// newTestStore builds an on-disk store with the paper spec and two runs:
+// "alpha" (with data items) and "beta".
+func newTestStore(t *testing.T) (string, *store.Store) {
+	t.Helper()
+	dir := t.TempDir()
+	s := spec.PaperSpec()
+	st, err := store.Create(dir, s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i, name := range []string{"alpha", "beta"} {
+		r, _ := run.GenerateSized(s, rng, 150+150*i)
+		var ann *provdata.Annotation
+		if name == "alpha" {
+			ann = provdata.RandomItems(r, rng, 1.2, 0.3)
+		}
+		if err := st.PutRun(name, r, ann, label.TCM{}); err != nil {
+			t.Fatalf("PutRun(%s): %v", name, err)
+		}
+	}
+	return dir, st
+}
+
+func newTestServer(t *testing.T, st *store.Store, cacheSize, maxBatch int) *Server {
+	t.Helper()
+	s, err := New(Config{Store: st, CacheSize: cacheSize, MaxBatch: maxBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// get issues a request against the handler directly and decodes the JSON
+// response body into out (which may be nil).
+func do(t *testing.T, s *Server, method, target, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, target, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func TestEndpoints(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 100)
+
+	var health struct {
+		Status string `json:"status"`
+		Spec   string `json:"spec"`
+		Scheme string `json:"scheme"`
+	}
+	if rec := do(t, s, "GET", "/healthz", "", &health); rec.Code != 200 {
+		t.Fatalf("/healthz: %d", rec.Code)
+	}
+	if health.Status != "ok" || health.Spec != "paper" || health.Scheme != "TCM" {
+		t.Fatalf("/healthz = %+v", health)
+	}
+
+	var specs struct {
+		Name     string   `json:"name"`
+		Vertices int      `json:"vertices"`
+		Modules  []string `json:"modules"`
+	}
+	do(t, s, "GET", "/specs", "", &specs)
+	if specs.Name != "paper" || specs.Vertices != st.Spec().NumVertices() || len(specs.Modules) != specs.Vertices {
+		t.Fatalf("/specs = %+v", specs)
+	}
+
+	var runs struct {
+		Runs []string `json:"runs"`
+	}
+	do(t, s, "GET", "/runs", "", &runs)
+	if len(runs.Runs) != 2 || runs.Runs[0] != "alpha" || runs.Runs[1] != "beta" {
+		t.Fatalf("/runs = %+v", runs)
+	}
+
+	var detail struct {
+		Vertices  int `json:"vertices"`
+		DataItems int `json:"data_items"`
+		MaxBits   int `json:"max_label_bits"`
+	}
+	do(t, s, "GET", "/runs?run=alpha", "", &detail)
+	if detail.Vertices == 0 || detail.DataItems == 0 || detail.MaxBits == 0 {
+		t.Fatalf("/runs?run=alpha = %+v", detail)
+	}
+}
+
+func TestReachableMatchesGraphSearch(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 100)
+	sess, err := st.OpenRun("beta", label.TCM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	searcher := dag.NewSearcher(sess.Run.Graph)
+	nm := run.NewNamer(sess.Run)
+	rng := rand.New(rand.NewSource(3))
+	n := sess.Run.NumVertices()
+	for q := 0; q < 200; q++ {
+		u := dag.VertexID(rng.Intn(n))
+		v := dag.VertexID(rng.Intn(n))
+		// Alternate between name and numeric-ID addressing.
+		from, to := nm.Name(u), fmt.Sprint(int(v))
+		var resp struct {
+			Reachable bool `json:"reachable"`
+		}
+		rec := do(t, s, "GET", "/reachable?run=beta&from="+from+"&to="+to, "", &resp)
+		if rec.Code != 200 {
+			t.Fatalf("query %d: status %d body %s", q, rec.Code, rec.Body.String())
+		}
+		if want := searcher.ReachableBFS(u, v); resp.Reachable != want {
+			t.Fatalf("(%s,%s): got %v want %v", from, to, resp.Reachable, want)
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 8)
+	sess, err := st.OpenRun("alpha", label.TCM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	searcher := dag.NewSearcher(sess.Run.Graph)
+	rng := rand.New(rand.NewSource(5))
+	n := sess.Run.NumVertices()
+	pairs := make([][2]string, 8)
+	want := make([]bool, len(pairs))
+	for i := range pairs {
+		u := dag.VertexID(rng.Intn(n))
+		v := dag.VertexID(rng.Intn(n))
+		pairs[i] = [2]string{fmt.Sprint(int(u)), fmt.Sprint(int(v))}
+		want[i] = searcher.ReachableBFS(u, v)
+	}
+	body, _ := json.Marshal(map[string]any{"run": "alpha", "pairs": pairs})
+	var resp struct {
+		Count   int    `json:"count"`
+		Results []bool `json:"results"`
+	}
+	rec := do(t, s, "POST", "/batch", string(body), &resp)
+	if rec.Code != 200 {
+		t.Fatalf("/batch: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if resp.Count != len(pairs) {
+		t.Fatalf("count = %d, want %d", resp.Count, len(pairs))
+	}
+	for i := range want {
+		if resp.Results[i] != want[i] {
+			t.Fatalf("pair %d (%v): got %v want %v", i, pairs[i], resp.Results[i], want[i])
+		}
+	}
+}
+
+func TestLineage(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 100)
+	sess, err := st.OpenRun("beta", label.TCM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := run.NewNamer(sess.Run)
+	// The run's sink depends on everything upstream; check count against
+	// a direct graph traversal for a handful of vertices.
+	for _, v := range []dag.VertexID{0, dag.VertexID(sess.Run.NumVertices() / 2), dag.VertexID(sess.Run.NumVertices() - 1)} {
+		for _, dir := range []string{"up", "down"} {
+			var resp struct {
+				Count int      `json:"count"`
+				Cone  []string `json:"cone"`
+			}
+			rec := do(t, s, "GET", "/lineage?run=beta&dir="+dir+"&vertex="+nm.Name(v), "", &resp)
+			if rec.Code != 200 {
+				t.Fatalf("lineage(%d,%s): status %d", v, dir, rec.Code)
+			}
+			var want int
+			if dir == "up" {
+				want = len(coneSize(sess.Run.Graph, v, true))
+			} else {
+				want = len(coneSize(sess.Run.Graph, v, false))
+			}
+			if resp.Count != want || len(resp.Cone) != want {
+				t.Fatalf("lineage(%s,%s): got %d want %d", nm.Name(v), dir, resp.Count, want)
+			}
+		}
+	}
+}
+
+// coneSize is a reference BFS cone (excluding the start vertex).
+func coneSize(g *dag.Graph, v dag.VertexID, reverse bool) []dag.VertexID {
+	seen := make([]bool, g.NumVertices())
+	seen[v] = true
+	queue := []dag.VertexID{v}
+	var out []dag.VertexID
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		next := g.Out(x)
+		if reverse {
+			next = g.In(x)
+		}
+		for _, w := range next {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
+}
+
+func TestMalformedRequests(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 4)
+	cases := []struct {
+		method, target, body string
+		want                 int
+	}{
+		{"GET", "/reachable", "", 400},                             // missing run
+		{"GET", "/reachable?run=alpha", "", 400},                   // missing from/to
+		{"GET", "/reachable?run=nosuch&from=a1&to=h1", "", 404},    // unknown run
+		{"GET", "/reachable?run=..%2Fspec&from=a1&to=h1", "", 400}, // invalid run name, not 500
+		{"GET", "/reachable?run=alpha&from=zz9&to=a1", "", 404},    // unknown vertex
+		{"GET", "/reachable?run=alpha&from=999999&to=a1", "", 404}, // ID out of range
+		{"GET", "/runs?run=nosuch", "", 404},
+		{"POST", "/batch", "{not json", 400},
+		{"POST", "/batch", `{"run":"alpha","pairs":[["a1","h1"],["a1","h1"],["a1","h1"],["a1","h1"],["a1","h1"]]}`, 413},
+		// An over-limit body is 413 (MaxBytesReader), not a generic 400.
+		{"POST", "/batch", `{"run":"alpha","pairs":[["` + strings.Repeat("x", 8192) + `","h1"]]}`, 413},
+		{"POST", "/batch", `{"run":"alpha","pairs":[["a1","zz9"]]}`, 404},
+		{"GET", "/batch", "", 405},
+		{"POST", "/reachable?run=alpha&from=a1&to=h1", "", 405},
+		{"GET", "/lineage?run=alpha", "", 400},
+		{"GET", "/lineage?run=alpha&vertex=a1&dir=sideways", "", 400},
+		{"GET", "/lineage?run=alpha&vertex=zz9", "", 404},
+	}
+	for _, c := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		rec := do(t, s, c.method, c.target, c.body, &e)
+		if rec.Code != c.want {
+			t.Errorf("%s %s: status %d (want %d), body %s", c.method, c.target, rec.Code, c.want, rec.Body.String())
+		}
+		if e.Error == "" {
+			t.Errorf("%s %s: no error message in %s", c.method, c.target, rec.Body.String())
+		}
+	}
+}
+
+// TestCacheHitMissEviction drives the LRU through hit, miss and eviction
+// and proves cache hits do zero disk I/O by deleting the store's run
+// files after warming the cache.
+func TestCacheHitMissEviction(t *testing.T) {
+	dir, st := newTestStore(t)
+	s := newTestServer(t, st, 1, 100) // capacity 1 forces eviction
+
+	query := func(runName string) int {
+		rec := do(t, s, "GET", "/reachable?run="+runName+"&from=a1&to=0", "", nil)
+		return rec.Code
+	}
+	if code := query("alpha"); code != 200 { // miss, load
+		t.Fatalf("alpha: %d", code)
+	}
+	if code := query("alpha"); code != 200 { // hit
+		t.Fatalf("alpha again: %d", code)
+	}
+	st1 := s.Stats()
+	if st1.Misses != 1 || st1.Hits != 1 || st1.Evictions != 0 || st1.Cached != 1 {
+		t.Fatalf("after warm: %+v", st1)
+	}
+
+	if code := query("beta"); code != 200 { // miss; successful load evicts alpha
+		t.Fatalf("beta: %d", code)
+	}
+	st2 := s.Stats()
+	if st2.Misses != 2 || st2.Evictions != 1 || st2.Cached != 1 {
+		t.Fatalf("after eviction: %+v", st2)
+	}
+
+	// Remove the run files: cache hits must keep working, misses must
+	// fail — and a failed load must not evict the live session.
+	if err := os.RemoveAll(filepath.Join(dir, "runs")); err != nil {
+		t.Fatal(err)
+	}
+	if code := query("beta"); code != 200 {
+		t.Fatalf("cached beta after file removal: %d (cache hit touched disk)", code)
+	}
+	if code := query("alpha"); code != 404 { // miss -> disk -> not found
+		t.Fatalf("alpha after file removal: %d, want 404", code)
+	}
+	if code := query("beta"); code != 200 {
+		t.Fatalf("beta after failed alpha load: %d (failed load evicted a live session)", code)
+	}
+	st3 := s.Stats()
+	if st3.Evictions != 1 || st3.Cached != 1 {
+		t.Fatalf("after failed load: %+v", st3)
+	}
+}
+
+// TestSingleflight verifies that concurrent Gets for the same key
+// trigger exactly one load.
+func TestSingleflight(t *testing.T) {
+	loads := 0
+	started := make(chan struct{})
+	release := make(chan struct{})
+	c := newSessionCache(4, func(name string) (*session, error) {
+		loads++
+		close(started)
+		<-release
+		return &session{}, nil
+	})
+
+	var wg sync.WaitGroup
+	results := make([]*session, 16)
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0], _ = c.Get("x") }()
+	<-started // the first load is in flight
+	for i := 1; i < len(results); i++ {
+		i := i
+		wg.Add(1)
+		go func() { defer wg.Done(); results[i], _ = c.Get("x") }()
+	}
+	close(release)
+	wg.Wait()
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+	for i, r := range results {
+		if r != results[0] || r == nil {
+			t.Fatalf("waiter %d got a different session", i)
+		}
+	}
+}
+
+// TestConcurrentServer hammers every endpoint from many goroutines with
+// a cache small enough to force constant eviction churn; run under
+// -race this is the serving layer's concurrency audit.
+func TestConcurrentServer(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 1, 100)
+	runs := []string{"alpha", "beta"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for q := 0; q < 100; q++ {
+				runName := runs[rng.Intn(len(runs))]
+				switch q % 4 {
+				case 0:
+					rec := httptest.NewRecorder()
+					s.ServeHTTP(rec, httptest.NewRequest("GET",
+						fmt.Sprintf("/reachable?run=%s&from=%d&to=%d", runName, rng.Intn(100), rng.Intn(100)), nil))
+					if rec.Code != 200 {
+						t.Errorf("reachable: %d", rec.Code)
+						return
+					}
+				case 1:
+					body, _ := json.Marshal(map[string]any{
+						"run":   runName,
+						"pairs": [][2]string{{fmt.Sprint(rng.Intn(100)), fmt.Sprint(rng.Intn(100))}},
+					})
+					rec := httptest.NewRecorder()
+					s.ServeHTTP(rec, httptest.NewRequest("POST", "/batch", strings.NewReader(string(body))))
+					if rec.Code != 200 {
+						t.Errorf("batch: %d", rec.Code)
+						return
+					}
+				case 2:
+					rec := httptest.NewRecorder()
+					s.ServeHTTP(rec, httptest.NewRequest("GET",
+						fmt.Sprintf("/lineage?run=%s&vertex=%d", runName, rng.Intn(100)), nil))
+					if rec.Code != 200 {
+						t.Errorf("lineage: %d", rec.Code)
+						return
+					}
+				default:
+					rec := httptest.NewRecorder()
+					s.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+					if rec.Code != 200 {
+						t.Errorf("healthz: %d", rec.Code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

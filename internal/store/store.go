@@ -10,6 +10,21 @@
 //	<dir>/spec.xml          the specification
 //	<dir>/runs/<name>.xml   one run (+ data items) per file
 //	<dir>/runs/<name>.skl   the run's label snapshot
+//
+// # Concurrency
+//
+// A Store is immutable after Create/Open except for the files PutRun
+// writes, so any number of goroutines may call Spec, SpecName, Runs and
+// OpenRun concurrently, including concurrently with PutRun calls for
+// distinct run names. Concurrent PutRun calls for the same name race on
+// the underlying files and must be serialized by the caller.
+//
+// A Session is immutable once OpenRun returns: Labels, DataView and the
+// run graph answer queries without mutating shared state (search-based
+// skeleton schemes draw per-query scratch from an internal pool), so one
+// Session may serve any number of concurrent readers. This contract is
+// what internal/server's session cache relies on and is enforced by the
+// -race tests in this package and internal/server.
 package store
 
 import (
@@ -193,9 +208,15 @@ func (st *Store) runPath(name, ext string) string {
 	return filepath.Join(st.dir, "runs", name+ext)
 }
 
-func validName(name string) error {
+// ValidRunName reports whether name is usable as a stored run name:
+// nonempty, no path separators, no "..". Callers accepting run names
+// from untrusted input (e.g. the query server) can reject bad names up
+// front instead of surfacing them as store errors.
+func ValidRunName(name string) error {
 	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
 		return fmt.Errorf("store: invalid run name %q", name)
 	}
 	return nil
 }
+
+func validName(name string) error { return ValidRunName(name) }

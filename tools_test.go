@@ -1,11 +1,20 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro"
 )
 
 // runTool executes one of the cmd/ tools via `go run` and returns its
@@ -92,6 +101,145 @@ func TestToolProvbench(t *testing.T) {
 		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
 			t.Fatalf("%s has no data rows", f)
 		}
+	}
+}
+
+// TestToolProvserve builds the provserve binary, points it at a store
+// created through the public Store API, and exercises the HTTP endpoints
+// end to end.
+func TestToolProvserve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+
+	// A real on-disk store with one labeled run.
+	s := repro.PaperSpec()
+	storeDir := filepath.Join(dir, "store")
+	st, err := repro.CreateStore(storeDir, s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := repro.GenerateRun(s, rand.New(rand.NewSource(2)), 200)
+	if err := st.PutRun("r1", r, nil, repro.TCM); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(dir, "provserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/provserve").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserving a port by listen-then-close races with other processes
+	// grabbing it back, so retry the whole launch on a fresh port if the
+	// daemon dies before becoming healthy.
+	var base string
+	var cmd *exec.Cmd
+	var cmdExited chan struct{} // closed by the per-attempt Wait goroutine
+	var logBuf bytes.Buffer
+	for attempt := 0; ; attempt++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+
+		logBuf.Reset()
+		cmd = exec.Command(bin, "-store", storeDir, "-addr", addr)
+		cmd.Stdout, cmd.Stderr = &logBuf, &logBuf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan struct{})
+		cmdExited = exited
+		go func(c *exec.Cmd) { c.Wait(); close(exited) }(cmd)
+		isDead := func() bool {
+			select {
+			case <-exited:
+				return true
+			default:
+				return false
+			}
+		}
+
+		base = "http://" + addr
+		healthy := false
+		for deadline := time.Now().Add(10 * time.Second); !healthy && !isDead() && time.Now().Before(deadline); {
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				healthy = true
+			} else {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		if healthy {
+			break
+		}
+		cmd.Process.Kill()
+		<-exited
+		if attempt >= 2 {
+			t.Fatalf("provserve never became healthy after %d attempts\nlog: %s", attempt+1, logBuf.String())
+		}
+	}
+	defer func() {
+		cmd.Process.Kill()
+		<-cmdExited // the attempt's goroutine owns cmd.Wait
+	}()
+
+	var reach struct {
+		Reachable bool `json:"reachable"`
+	}
+	getJSON(t, base+"/reachable?run=r1&from=a1&to=h1", &reach)
+	if !reach.Reachable {
+		t.Fatal("h1 should depend on a1 (source reaches sink)")
+	}
+
+	var batch struct {
+		Count   int    `json:"count"`
+		Results []bool `json:"results"`
+	}
+	body := `{"run":"r1","pairs":[["a1","h1"],["h1","a1"]]}`
+	bResp, err := http.Post(base+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bResp.Body.Close()
+	if bResp.StatusCode != 200 {
+		t.Fatalf("/batch: status %d", bResp.StatusCode)
+	}
+	if err := json.NewDecoder(bResp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Count != 2 || !batch.Results[0] || batch.Results[1] {
+		t.Fatalf("/batch = %+v, want [true false]", batch)
+	}
+
+	var lin struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, fmt.Sprintf("%s/lineage?run=r1&vertex=h1&dir=up", base), &lin)
+	h1, ok := repro.NewNamer(r).Vertex("h1")
+	if !ok {
+		t.Fatal("run has no vertex h1")
+	}
+	if want := len(repro.Upstream(r, h1)); lin.Count != want {
+		t.Fatalf("lineage(h1, up) = %d vertices, want %d", lin.Count, want)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
 	}
 }
 
