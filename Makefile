@@ -5,7 +5,7 @@ GO ?= go
 STORE ?= ./provstore
 ADDR ?= :8080
 
-.PHONY: build test race bench fmt vet serve ci
+.PHONY: build test race bench bench-store fmt vet serve ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Store-backend benchmarks (fs + mem) at a few iterations, so a
+# regression in either substrate shows up in the perf trajectory.
+bench-store:
+	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkServerBatchReachable' -benchtime=3x ./internal/store/ .
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -31,4 +36,4 @@ vet:
 serve:
 	$(GO) run ./cmd/provserve -store $(STORE) -addr $(ADDR)
 
-ci: fmt vet build race bench
+ci: fmt vet build race bench bench-store

@@ -74,10 +74,17 @@ type (
 	Namer = run.Namer
 	// DataStream registers data items of a still-running workflow (§6+§9).
 	DataStream = provdata.Stream
-	// Store is an on-disk provenance store (spec + runs + labels).
+	// Store is a provenance store (spec + runs + labels) over some
+	// StoreBackend.
 	Store = store.Store
 	// StoreSession is one stored run opened for querying.
 	StoreSession = store.Session
+	// StoreBackend is the blob-level storage substrate under a Store:
+	// fs (one directory), mem (RAM), shard (hash-routed children), or
+	// any implementation passing store/backendtest.
+	StoreBackend = store.Backend
+	// StoreStats describes a store's backend (kind, path, shard children).
+	StoreStats = store.Stats
 	// QueryServer is a concurrent HTTP provenance query service over a
 	// Store, with an LRU session cache and a batched query endpoint.
 	QueryServer = server.Server
@@ -284,13 +291,42 @@ func NewDataStream(reach provdata.ModuleReachability) *DataStream {
 	return provdata.NewStream(reach)
 }
 
-// CreateStore initializes an on-disk provenance store for a specification.
+// CreateStore initializes an fs-backed provenance store directory for a
+// specification.
 func CreateStore(dir string, s *Spec, name string) (*Store, error) {
 	return store.Create(dir, s, name)
 }
 
-// OpenStore loads an existing provenance store.
+// OpenStore loads an existing fs-backed provenance store.
 func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// OpenStoreURL opens an existing store from a URL picking the backend:
+// "fs://dir" (a bare path means the same), "mem://dir" (preload the fs
+// store at dir into RAM and serve from memory), or "shard://a,b,..."
+// (a store sharded across the listed directories, as created by
+// NewShardedStore with the same list).
+func OpenStoreURL(url string) (*Store, error) { return store.OpenURL(url) }
+
+// NewMemStore returns a store over a fresh in-memory backend — the
+// fastest substrate for tests, examples and ephemeral serving.
+func NewMemStore(s *Spec, name string) (*Store, error) { return store.NewMem(s, name) }
+
+// NewShardedStore initializes a store sharded across fs-backed child
+// directories: runs are routed to children by hash of the run name, and
+// the spec is replicated so each child is independently openable.
+func NewShardedStore(dirs []string, s *Spec, name string) (*Store, error) {
+	return store.CreateSharded(dirs, s, name)
+}
+
+// NewStoreOverBackend initializes a store over any StoreBackend
+// implementation, persisting the spec through it. Custom backends should
+// pass the conformance suite in internal/store/backendtest.
+func NewStoreOverBackend(b StoreBackend, s *Spec, name string) (*Store, error) {
+	return store.New(b, s, name)
+}
+
+// OpenStoreOverBackend loads an existing store from any StoreBackend.
+func OpenStoreOverBackend(b StoreBackend) (*Store, error) { return store.OpenBackend(b) }
 
 // NewServer builds a provenance query server (an http.Handler) over an
 // opened store. See cmd/provserve for the standalone daemon.

@@ -264,14 +264,32 @@ func BenchmarkOnlineAppend(b *testing.B) {
 // BenchmarkServerBatchReachable measures the query server's batched
 // reachability path end to end — JSON decode, cache-hit session lookup,
 // the constant-time Reachable per pair, JSON encode — as the serving
-// layer's perf baseline. Per-pair cost should approach the raw
-// Labeling.Reachable cost as the batch grows.
+// layer's perf baseline, over the fs store backend. Per-pair cost should
+// approach the raw Labeling.Reachable cost as the batch grows.
 func BenchmarkServerBatchReachable(b *testing.B) {
 	r := benchRun(b, 5000)
 	st, err := repro.CreateStore(b.TempDir(), r.Spec, "bench")
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchServerBatch(b, st, r)
+}
+
+// BenchmarkServerBatchReachableMem is the same serving path over the
+// in-memory store backend; on cache hits the two must be
+// indistinguishable (the session cache means neither touches its
+// backend), so a gap here flags a regression in the store layer.
+func BenchmarkServerBatchReachableMem(b *testing.B) {
+	r := benchRun(b, 5000)
+	st, err := repro.NewMemStore(r.Spec, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchServerBatch(b, st, r)
+}
+
+func benchServerBatch(b *testing.B, st *repro.Store, r *repro.Run) {
+	b.Helper()
 	if err := st.PutRun("r1", r, nil, repro.TCM); err != nil {
 		b.Fatal(err)
 	}

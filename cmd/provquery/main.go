@@ -1,10 +1,20 @@
-// Command provquery labels a run and answers provenance queries.
+// Command provquery answers provenance queries, either by labeling a
+// run from XML files or straight from a provenance store's persisted
+// labels.
 //
 // Usage:
 //
 //	provquery -spec s.xml -run r.xml -from b1 -to c3
 //	provquery -spec s.xml -run r.xml -scheme BFS -stats
 //	provquery -spec s.xml -run r.xml -affected x1     # data provenance
+//
+// With -store, queries hit a stored run's snapshot labels (nothing is
+// relabeled) and -run names the stored run instead of an XML file. The
+// store URL picks the backend: fs://dir (or a bare path), mem://dir,
+// shard://dirA,dirB,...
+//
+//	provquery -store ./provstore -run r1 -from b1 -to c3
+//	provquery -store 'shard://a,b' -run r1 -stats
 //
 // Vertices are addressed by occurrence name (module name plus occurrence
 // index, e.g. "b2" for the second execution of module b), data items by
@@ -23,8 +33,9 @@ import (
 
 func main() {
 	var (
-		specPath    = flag.String("spec", "", "specification XML (required)")
-		runPath     = flag.String("run", "", "run XML (required)")
+		specPath    = flag.String("spec", "", "specification XML (required unless -store is given)")
+		runPath     = flag.String("run", "", "run XML, or the stored run name with -store (required)")
+		storeURL    = flag.String("store", "", "provenance store URL (fs://dir, bare path, mem://dir, shard://a,b); queries use stored labels")
 		scheme      = flag.String("scheme", "TCM", "specification labeling scheme (TCM, BFS, DFS, Interval, Chain)")
 		from        = flag.String("from", "", "source vertex occurrence name (e.g. b1)")
 		to          = flag.String("to", "", "target vertex occurrence name (e.g. c3)")
@@ -35,36 +46,61 @@ func main() {
 		interactive = flag.Bool("i", false, "read queries from stdin: lines of \"<from> <to>\"")
 	)
 	flag.Parse()
-	if *specPath == "" || *runPath == "" {
-		fatalf("-spec and -run are required")
+	if *storeURL == "" && (*specPath == "" || *runPath == "") {
+		fatalf("-spec and -run are required (or -store with -run)")
 	}
-
-	sf, err := os.Open(*specPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	s, _, err := repro.ReadSpecXML(sf)
-	sf.Close()
-	if err != nil {
-		fatalf("spec: %v", err)
-	}
-	rf, err := os.Open(*runPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	r, ann, err := repro.ReadRunXML(rf, s)
-	rf.Close()
-	if err != nil {
-		fatalf("run: %v", err)
+	if *storeURL != "" && *runPath == "" {
+		fatalf("-store needs -run <stored run name>")
 	}
 
 	sch, err := repro.SpecSchemeByName(*scheme)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	l, err := repro.LabelRun(r, sch)
-	if err != nil {
-		fatalf("label: %v", err)
+
+	var (
+		s   *repro.Spec
+		r   *repro.Run
+		ann *repro.DataAnnotation
+		l   *repro.Labeling
+	)
+	if *storeURL != "" {
+		// Store mode: the run was labeled at ingest; bind its stored
+		// snapshot to the scheme's skeleton labels and query directly.
+		st, err := repro.OpenStoreURL(*storeURL)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sess, err := st.OpenRun(*runPath, sch)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		s, r, ann, l = st.Spec(), sess.Run, sess.Data, sess.Labels
+	} else {
+		sf, err := os.Open(*specPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var specErr error
+		s, _, specErr = repro.ReadSpecXML(sf)
+		sf.Close()
+		if specErr != nil {
+			fatalf("spec: %v", specErr)
+		}
+		rf, err := os.Open(*runPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var runErr error
+		r, ann, runErr = repro.ReadRunXML(rf, s)
+		rf.Close()
+		if runErr != nil {
+			fatalf("run: %v", runErr)
+		}
+		l, err = repro.LabelRun(r, sch)
+		if err != nil {
+			fatalf("label: %v", err)
+		}
 	}
 
 	if *stats {

@@ -1,10 +1,16 @@
-// Command provserve serves provenance queries over an on-disk store as a
-// concurrent HTTP/JSON API.
+// Command provserve serves provenance queries over a stored provenance
+// database as a concurrent HTTP/JSON API.
 //
-// Usage:
+// The -store flag takes a URL picking the storage backend (a bare
+// directory path means fs://):
 //
-//	provserve -store ./provstore
-//	provserve -store ./provstore -addr :9090 -scheme BFS -cache 64 -max-batch 16384
+//	provserve -store ./provstore                  one directory
+//	provserve -store fs:///var/prov               same, explicit
+//	provserve -store 'mem://./provstore'          preload into RAM, serve
+//	                                              with zero disk I/O
+//	provserve -store 'shard://diskA/p,diskB/p'    one store sharded
+//	                                              across directories
+//	provserve -store ./provstore -addr :9090 -scheme BFS -cache 64
 //
 // Endpoints (see internal/server):
 //
@@ -28,18 +34,18 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		dir      = flag.String("store", "", "provenance store directory (required)")
+		storeURL = flag.String("store", "", "store URL: fs://dir (or a bare path), mem://dir, shard://dirA,dirB,... (required)")
 		scheme   = flag.String("scheme", "TCM", "skeleton scheme for loaded sessions (TCM, BFS, DFS, Interval, Chain, 2-Hop, Dual)")
 		cache    = flag.Int("cache", 16, "maximum cached run sessions (LRU)")
 		maxBatch = flag.Int("max-batch", 8192, "maximum pairs per /batch request")
 	)
 	flag.Parse()
-	if *dir == "" {
+	if *storeURL == "" {
 		fmt.Fprintln(os.Stderr, "provserve: -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	st, err := repro.OpenStore(*dir)
+	st, err := repro.OpenStoreURL(*storeURL)
 	if err != nil {
 		log.Fatalf("provserve: %v", err)
 	}
@@ -47,7 +53,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("provserve: %v", err)
 	}
-	log.Printf("provserve: serving store %q (spec %q, scheme %s) on %s", *dir, st.SpecName(), sch.Name(), *addr)
+	log.Printf("provserve: serving store %q (spec %q, backend %s, scheme %s) on %s",
+		*storeURL, st.SpecName(), st.Stat().Kind, sch.Name(), *addr)
 	err = repro.Serve(*addr, repro.ServerConfig{
 		Store:     st,
 		Scheme:    sch,

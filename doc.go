@@ -36,7 +36,7 @@
 // Labels are computed once at ingest and then serve queries forever:
 // persist labeled runs with a Store and answer reachability over HTTP
 // with the concurrent query service (an LRU session cache keeps hot runs
-// in memory, so cache-hit queries do zero disk I/O):
+// in memory, so cache-hit queries do zero backend I/O):
 //
 //	st, _ := repro.CreateStore("provstore", spec, "my-workflow")
 //	_ = st.PutRun("r1", run, nil, repro.TCM)
@@ -46,6 +46,27 @@
 //
 //	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
 //	curl -d '{"run":"r1","pairs":[["b1","c3"],["c1","b2"]]}' localhost:8080/batch
+//
+// # Storage backends
+//
+// A Store is backend-agnostic logic (validation, labeling, snapshot
+// binding) over the blob-level StoreBackend interface, so the same
+// labeling and query layer runs on interchangeable substrates. Three
+// backends ship with the library, openable by URL with OpenStoreURL and
+// `provserve -store <url>`:
+//
+//	fs://dir          one directory on disk (a bare path means the same);
+//	                  writes are atomic temp-file+rename
+//	mem://dir         the fs store at dir preloaded into RAM: ephemeral
+//	                  serving with zero disk I/O even on cache misses
+//	shard://a,b,...   one store hash-routed across many directories (or
+//	                  disks): `provserve -store 'shard://a,b'` fronts all
+//	                  of them at once
+//
+// In-process, NewMemStore builds an ephemeral store for tests and demos,
+// NewShardedStore creates a shard set, and NewStoreOverBackend accepts
+// any custom StoreBackend (e.g. a future object-store layout) — the
+// conformance suite in internal/store/backendtest defines the contract.
 //
 // See examples/ for complete programs, cmd/provbench for the paper's
 // full experimental suite, and cmd/provserve for the query daemon.

@@ -2,6 +2,14 @@
 // run, label it with the skeleton-based scheme, answer the three
 // provenance queries from the paper's introduction, and finally serve the
 // labeled run over HTTP the way a production deployment would.
+//
+// The serving section uses an in-memory store backend; the same code
+// works over any backend the store package ships. In production you pick
+// the substrate with a store URL:
+//
+//	provserve -store ./provstore              # one directory
+//	provserve -store 'mem://./provstore'      # preloaded into RAM
+//	provserve -store 'shard://diskA,diskB'    # sharded across disks
 package main
 
 import (
@@ -11,7 +19,6 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	"os"
 
 	"repro"
 )
@@ -74,14 +81,12 @@ func main() {
 	}
 
 	// Persist the labeled run and serve it. In production this is
-	// `provserve -store <dir>`; here the server runs in-process on an
-	// ephemeral port and answers one query before exiting.
-	dir, err := os.MkdirTemp("", "provstore")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
-	st, err := repro.CreateStore(dir, s, "quickstart")
+	// `provserve -store <url>` over an fs or sharded store; here an
+	// in-memory store backend keeps the demo self-contained and the
+	// server runs in-process on an ephemeral port, answering one query
+	// before exiting. Swapping backends is one line: CreateStore(dir,...)
+	// for a directory, NewShardedStore(dirs,...) to span disks.
+	st, err := repro.NewMemStore(s, "quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}

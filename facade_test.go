@@ -138,3 +138,58 @@ func TestFacadeDOT(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeStoreBackends(t *testing.T) {
+	s := repro.PaperSpec()
+	rng := rand.New(rand.NewSource(7))
+
+	// In-memory store: create, ingest, query — no disk anywhere.
+	mem, err := repro.NewMemStore(s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := mem.Stat().Kind; kind != "mem" {
+		t.Fatalf("NewMemStore backend kind = %q", kind)
+	}
+	r, _ := repro.GenerateRun(s, rng, 200)
+	if err := mem.PutRun("r1", r, nil, repro.TCM); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := mem.OpenRun("r1", repro.TCM)
+	if err != nil || sess.Run.NumVertices() != r.NumVertices() {
+		t.Fatalf("mem OpenRun = %v", err)
+	}
+
+	// The same store reopened over its own backend handle.
+	again, err := repro.OpenStoreOverBackend(mem.Backend())
+	if err != nil || again.SpecName() != "paper" {
+		t.Fatalf("OpenStoreOverBackend = %v", err)
+	}
+
+	// Sharded store: runs spread over directories, reopened by URL.
+	dirs := []string{t.TempDir(), t.TempDir()}
+	sh, err := repro.NewShardedStore(dirs, s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		r, _ := repro.GenerateRun(s, rng, 100)
+		if err := sh.PutRun(name, r, nil, repro.TCM); err != nil {
+			t.Fatalf("PutRun(%s): %v", name, err)
+		}
+	}
+	reopened, err := repro.OpenStoreURL("shard://" + strings.Join(dirs, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := reopened.Stat(); st.Kind != "shard" || len(st.Shards) != 2 {
+		t.Fatalf("sharded Stat = %+v", st)
+	}
+	names, err := reopened.Runs()
+	if err != nil || len(names) != 4 {
+		t.Fatalf("sharded Runs = %v, %v", names, err)
+	}
+	if _, err := reopened.OpenRun("c", repro.BFS); err != nil {
+		t.Fatalf("sharded OpenRun: %v", err)
+	}
+}

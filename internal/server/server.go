@@ -1,12 +1,16 @@
-// Package server is a concurrent provenance query service over an
-// on-disk store: an HTTP/JSON API answering reachability and lineage
+// Package server is a concurrent provenance query service over a
+// provenance store: an HTTP/JSON API answering reachability and lineage
 // queries from stored skeleton labels. It is the serving layer the paper
 // motivates — labels are computed once at ingest (store.PutRun) and then
-// answer constant-time queries for many concurrent clients.
+// answer constant-time queries for many concurrent clients. The server
+// is backend-agnostic: it speaks to store.Store, which runs over any
+// store.Backend (one directory, RAM, or a shard set), so the same
+// process can front a local store, an ephemeral in-memory copy, or many
+// disks.
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness + cache statistics
+//	GET  /healthz              liveness + backend + cache statistics
 //	GET  /specs                the store's specification (modules, channels)
 //	GET  /runs                 stored run names
 //	GET  /runs?run=R           one run's size and label statistics
@@ -125,9 +129,9 @@ func ListenAndServe(addr string, cfg Config) error {
 	return srv.ListenAndServe()
 }
 
-// load opens one run from disk; it runs at most once per run name at a
-// time (singleflight in the cache) and its result is shared by all
-// subsequent cache hits.
+// load opens one run from the store's backend; it runs at most once per
+// run name at a time (singleflight in the cache) and its result is
+// shared by all subsequent cache hits.
 func (s *Server) load(name string) (*session, error) {
 	sess, err := s.st.OpenRun(name, s.scheme)
 	if err != nil {
@@ -185,6 +189,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status": "ok",
 		"spec":   s.st.SpecName(),
 		"scheme": s.scheme.Name(),
+		"store":  s.st.Stat(),
 		"cache":  s.cache.Stats(),
 	})
 }

@@ -422,3 +422,83 @@ func TestConcurrentServer(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestServerAllBackends serves the same workload from fs-, mem- and
+// shard-backed stores: the server is backend-agnostic by construction
+// (it only sees store.Store), and /healthz reports which substrate is
+// underneath, including per-shard stats.
+func TestServerAllBackends(t *testing.T) {
+	s := spec.PaperSpec()
+	backends := []struct {
+		kind string
+		make func(t *testing.T) *store.Store
+	}{
+		{"fs", func(t *testing.T) *store.Store {
+			st, err := store.Create(t.TempDir(), s, "paper")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+		{"mem", func(t *testing.T) *store.Store {
+			st, err := store.NewMem(s, "paper")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+		{"shard", func(t *testing.T) *store.Store {
+			st, err := store.CreateSharded([]string{t.TempDir(), t.TempDir()}, s, "paper")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+	}
+	for _, bk := range backends {
+		bk := bk
+		t.Run(bk.kind, func(t *testing.T) {
+			st := bk.make(t)
+			rng := rand.New(rand.NewSource(13))
+			for _, name := range []string{"alpha", "beta"} {
+				r, _ := run.GenerateSized(s, rng, 150)
+				if err := st.PutRun(name, r, nil, label.TCM{}); err != nil {
+					t.Fatalf("PutRun(%s): %v", name, err)
+				}
+			}
+			srv := newTestServer(t, st, 4, 100)
+
+			var health struct {
+				Status string      `json:"status"`
+				Store  store.Stats `json:"store"`
+			}
+			if rec := do(t, srv, "GET", "/healthz", "", &health); rec.Code != 200 {
+				t.Fatalf("/healthz: %d", rec.Code)
+			}
+			if health.Status != "ok" || health.Store.Kind != bk.kind {
+				t.Fatalf("/healthz = %+v, want store kind %q", health, bk.kind)
+			}
+			if bk.kind == "shard" && len(health.Store.Shards) != 2 {
+				t.Fatalf("/healthz shard stats = %+v, want 2 children", health.Store)
+			}
+
+			var runs struct {
+				Runs []string `json:"runs"`
+			}
+			do(t, srv, "GET", "/runs", "", &runs)
+			if len(runs.Runs) != 2 || runs.Runs[0] != "alpha" || runs.Runs[1] != "beta" {
+				t.Fatalf("/runs = %+v", runs)
+			}
+
+			var reach struct {
+				Reachable bool `json:"reachable"`
+			}
+			if rec := do(t, srv, "GET", "/reachable?run=beta&from=a1&to=h1", "", &reach); rec.Code != 200 || !reach.Reachable {
+				t.Fatalf("/reachable = %d %+v, want 200 true", rec.Code, reach)
+			}
+			if rec := do(t, srv, "GET", "/reachable?run=missing&from=a1&to=h1", "", nil); rec.Code != 404 {
+				t.Fatalf("missing run over %s backend = %d, want 404", bk.kind, rec.Code)
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package store
+
+import "io"
+
+// Backend is the blob-level storage substrate under a Store. It moves
+// opaque documents — the specification XML, per-run XML, and per-run
+// label snapshots — without interpreting them; all validation, labeling
+// and snapshot binding happens in Store. Keeping the interface at the
+// blob level is what lets one labeling/query layer sit on interchangeable
+// substrates: a directory (fs), RAM (mem), a hash-routed fan-out over
+// child backends (shard), or a future remote/object-store layout.
+//
+// # Contract
+//
+// All methods must be safe for concurrent use. WriteRun must be atomic
+// with respect to run visibility: a half-written run must never become
+// visible to ListRuns or readable through ReadRun/ReadLabels — a listed
+// run always has both blobs intact. Overwriting an existing run while
+// other goroutines read or write that same name races (mirroring the
+// Store contract) and must be serialized by the caller; distinct names
+// never interfere. Reading a run or spec that was never written must
+// return an error satisfying errors.Is(err, fs.ErrNotExist) — the
+// serving layer relies on that to distinguish 404 from 500. ListRuns
+// returns names sorted ascending.
+type Backend interface {
+	// ReadSpec streams the stored specification document.
+	ReadSpec() (io.ReadCloser, error)
+	// WriteSpec persists the specification document, initializing the
+	// backend's layout if needed. It overwrites any previous spec.
+	WriteSpec(data []byte) error
+	// ReadRun streams the named run's document.
+	ReadRun(name string) (io.ReadCloser, error)
+	// ReadLabels streams the named run's label snapshot.
+	ReadLabels(name string) (io.ReadCloser, error)
+	// WriteRun atomically persists a run document and its label snapshot
+	// under name. Implementations must not retain the slices.
+	WriteRun(name string, runDoc, labels []byte) error
+	// ListRuns returns the stored run names, sorted ascending.
+	ListRuns() ([]string, error)
+	// Stat cheaply describes the backend for monitoring (no I/O heavier
+	// than constant-time bookkeeping).
+	Stat() Stats
+	// Close releases the backend's resources. The backend is unusable
+	// afterwards.
+	Close() error
+}
+
+// Stats describes a backend for monitoring endpoints (e.g. the query
+// server's /healthz). Fields are populated where they are cheap: Path
+// for fs backends, Runs for mem backends, Shards (one child entry each)
+// for shard backends.
+type Stats struct {
+	// Kind identifies the backend implementation: "fs", "mem" or "shard".
+	Kind string `json:"kind"`
+	// Path is the fs backend's directory.
+	Path string `json:"path,omitempty"`
+	// Runs is the mem backend's resident run count.
+	Runs int `json:"runs,omitempty"`
+	// Shards holds one entry per child of a shard backend.
+	Shards []Stats `json:"shards,omitempty"`
+}

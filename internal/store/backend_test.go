@@ -1,0 +1,53 @@
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/store/backendtest"
+)
+
+// Every shipped backend passes the same conformance suite; shard is run
+// twice to show child backends are interchangeable too.
+
+func TestFSBackendConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) store.Backend {
+		return store.NewFSBackend(t.TempDir())
+	})
+}
+
+func TestMemBackendConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) store.Backend {
+		return store.NewMemBackend()
+	})
+}
+
+func TestShardFSBackendConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) store.Backend {
+		b, err := store.NewShardBackend(
+			store.NewFSBackend(t.TempDir()),
+			store.NewFSBackend(t.TempDir()),
+			store.NewFSBackend(t.TempDir()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+}
+
+func TestShardMemBackendConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) store.Backend {
+		b, err := store.NewShardBackend(store.NewMemBackend(), store.NewMemBackend())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+}
+
+func TestShardNeedsChildren(t *testing.T) {
+	if _, err := store.NewShardBackend(); err == nil {
+		t.Fatal("NewShardBackend() accepted zero children")
+	}
+}

@@ -1,0 +1,272 @@
+// Package backendtest is the conformance suite for store.Backend
+// implementations. Every backend — fs, mem, shard, and any future
+// remote/object-store layout — must pass Run against a factory producing
+// fresh, empty backends; the suite pins down the parts of the contract
+// the Store and the serving layer rely on: blob round-trips, sorted and
+// complete listings, fs.ErrNotExist on missing documents (the server's
+// 404 path), overwrite semantics, and safety under concurrent readers
+// and writers (meaningful under -race).
+package backendtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// Factory returns a fresh, empty backend for one subtest. The factory is
+// called once per subtest, so implementations should root each backend
+// in its own t.TempDir() or equivalent.
+type Factory func(t *testing.T) store.Backend
+
+// Run exercises the Backend contract against backends from the factory.
+func Run(t *testing.T, newBackend Factory) {
+	t.Run("MissingSpec", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		if rc, err := b.ReadSpec(); !errors.Is(err, fs.ErrNotExist) {
+			if rc != nil {
+				rc.Close()
+			}
+			t.Fatalf("ReadSpec on empty backend = %v, want fs.ErrNotExist", err)
+		}
+	})
+
+	t.Run("SpecRoundTrip", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		doc := []byte("<spec v=1>")
+		if err := b.WriteSpec(doc); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, b.ReadSpec); !bytes.Equal(got, doc) {
+			t.Fatalf("ReadSpec = %q, want %q", got, doc)
+		}
+		// WriteSpec overwrites.
+		doc2 := []byte("<spec v=2, longer than before>")
+		if err := b.WriteSpec(doc2); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, b.ReadSpec); !bytes.Equal(got, doc2) {
+			t.Fatalf("ReadSpec after overwrite = %q, want %q", got, doc2)
+		}
+	})
+
+	t.Run("RunRoundTrip", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		doc, labels := []byte("<run alpha>"), []byte{1, 2, 3, 0, 255}
+		if err := b.WriteRun("alpha", doc, labels); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadRun("alpha") }); !bytes.Equal(got, doc) {
+			t.Fatalf("ReadRun = %q, want %q", got, doc)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadLabels("alpha") }); !bytes.Equal(got, labels) {
+			t.Fatalf("ReadLabels = %v, want %v", got, labels)
+		}
+	})
+
+	t.Run("WriteDoesNotRetainBuffers", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		doc, labels := []byte("stable-doc"), []byte("stable-skl")
+		if err := b.WriteRun("r", doc, labels); err != nil {
+			t.Fatal(err)
+		}
+		copy(doc, "XXXXXX")
+		copy(labels, "XXXXXX")
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadRun("r") }); string(got) != "stable-doc" {
+			t.Fatalf("ReadRun = %q after caller mutated its buffer", got)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadLabels("r") }); string(got) != "stable-skl" {
+			t.Fatalf("ReadLabels = %q after caller mutated its buffer", got)
+		}
+	})
+
+	t.Run("Overwrite", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		if err := b.WriteRun("r", []byte("old-doc-which-is-long"), []byte("old-labels")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteRun("r", []byte("new"), []byte("nl")); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadRun("r") }); string(got) != "new" {
+			t.Fatalf("ReadRun after overwrite = %q", got)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadLabels("r") }); string(got) != "nl" {
+			t.Fatalf("ReadLabels after overwrite = %q", got)
+		}
+		names, err := b.ListRuns()
+		if err != nil || len(names) != 1 {
+			t.Fatalf("ListRuns after overwrite = %v, %v", names, err)
+		}
+	})
+
+	t.Run("ListSortedComplete", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		if names, err := b.ListRuns(); err != nil || len(names) != 0 {
+			t.Fatalf("ListRuns on empty backend = %v, %v", names, err)
+		}
+		// Written out of order; ListRuns must return them sorted.
+		for _, name := range []string{"zulu", "alpha", "mike", "bravo-2", "bravo-10"} {
+			if err := b.WriteRun(name, []byte("d:"+name), []byte("l:"+name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names, err := b.ListRuns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"alpha", "bravo-10", "bravo-2", "mike", "zulu"}
+		if fmt.Sprint(names) != fmt.Sprint(want) {
+			t.Fatalf("ListRuns = %v, want %v", names, want)
+		}
+	})
+
+	t.Run("MissingRun", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		if err := b.WriteRun("present", []byte("d"), []byte("l")); err != nil {
+			t.Fatal(err)
+		}
+		for _, probe := range []struct {
+			what string
+			call func(string) (io.ReadCloser, error)
+		}{
+			{"ReadRun", b.ReadRun},
+			{"ReadLabels", b.ReadLabels},
+		} {
+			rc, err := probe.call("absent")
+			if rc != nil {
+				rc.Close()
+			}
+			if !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("%s(absent) = %v, want fs.ErrNotExist", probe.what, err)
+			}
+		}
+	})
+
+	t.Run("Stat", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		if st := b.Stat(); st.Kind == "" {
+			t.Fatalf("Stat().Kind is empty: %+v", st)
+		}
+	})
+
+	t.Run("Concurrent", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		// Seed half the runs, then concurrently write the other half while
+		// readers hammer the seeded ones and list throughout: the contract
+		// says distinct names never interfere and listings only ever show
+		// complete runs.
+		const seeded, writers = 8, 8
+		for i := 0; i < seeded; i++ {
+			name := fmt.Sprintf("seed-%d", i)
+			if err := b.WriteRun(name, []byte("doc-"+name), []byte("skl-"+name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 2*writers)
+		fail := func(err error) {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+		for g := 0; g < writers; g++ {
+			g := g
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				name := fmt.Sprintf("new-%d", g)
+				if err := b.WriteRun(name, []byte("doc-"+name), []byte("skl-"+name)); err != nil {
+					fail(err)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					name := fmt.Sprintf("seed-%d", (g+i)%seeded)
+					got, err := readErr(b.ReadRun(name))
+					if err != nil || string(got) != "doc-"+name {
+						fail(fmt.Errorf("ReadRun(%s) = %q, %v", name, got, err))
+						return
+					}
+					names, err := b.ListRuns()
+					if err != nil || len(names) < seeded {
+						fail(fmt.Errorf("ListRuns = %d names, %v", len(names), err))
+						return
+					}
+					for _, n := range names {
+						if skl, err := readErr(b.ReadLabels(n)); err != nil || string(skl) != "skl-"+n {
+							fail(fmt.Errorf("listed run %q has labels %q, %v", n, skl, err))
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		names, err := b.ListRuns()
+		if err != nil || len(names) != seeded+writers {
+			t.Fatalf("final ListRuns = %v, %v", names, err)
+		}
+	})
+
+	t.Run("Close", func(t *testing.T) {
+		b := newBackend(t)
+		mustInit(t, b)
+		if err := b.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// mustInit writes a placeholder spec so run operations act on an
+// initialized backend (fs backends create their layout in WriteSpec).
+func mustInit(t *testing.T, b store.Backend) {
+	t.Helper()
+	if err := b.WriteSpec([]byte("<spec>")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func read(t *testing.T, open func() (io.ReadCloser, error)) []byte {
+	t.Helper()
+	data, err := readErr(open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func readErr(rc io.ReadCloser, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// fsBackend stores blobs as files under one directory, the layout the
+// package has always used:
+//
+//	<dir>/spec.xml          the specification
+//	<dir>/runs/<name>.xml   one run (+ data items) per file
+//	<dir>/runs/<name>.skl   the run's label snapshot
+//
+// Writes are crash-safe: every file is written to a hidden temp file in
+// the same directory, fsynced, renamed into place, and the directory is
+// fsynced, so readers only ever observe complete documents and a
+// completed write survives power loss. WriteRun durably renames the
+// .skl before the .xml — the .xml is what makes a run visible to
+// ListRuns, so a crash between the two leaves an orphaned snapshot
+// (overwritten on retry) rather than a visible run with no labels.
+// Overwriting a run that is concurrently being read can pair new labels
+// with the old document; per the Backend contract, same-name write/read
+// races are the caller's to serialize.
+type fsBackend struct {
+	dir string
+}
+
+// NewFSBackend returns a filesystem backend rooted at dir. The directory
+// need not exist yet: WriteSpec creates the layout. Opening semantics are
+// lazy — ReadSpec on a directory that holds no store reports
+// fs.ErrNotExist.
+func NewFSBackend(dir string) Backend { return &fsBackend{dir: dir} }
+
+func (b *fsBackend) ReadSpec() (io.ReadCloser, error) {
+	f, err := os.Open(filepath.Join(b.dir, "spec.xml"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}
+
+func (b *fsBackend) WriteSpec(data []byte) error {
+	if err := os.MkdirAll(filepath.Join(b.dir, "runs"), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(b.dir, "spec.xml"), data)
+}
+
+func (b *fsBackend) ReadRun(name string) (io.ReadCloser, error) {
+	return b.openBlob(name, ".xml")
+}
+
+func (b *fsBackend) ReadLabels(name string) (io.ReadCloser, error) {
+	return b.openBlob(name, ".skl")
+}
+
+func (b *fsBackend) openBlob(name, ext string) (io.ReadCloser, error) {
+	f, err := os.Open(b.runPath(name, ext))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}
+
+func (b *fsBackend) WriteRun(name string, runDoc, labels []byte) error {
+	if err := os.MkdirAll(filepath.Join(b.dir, "runs"), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(b.runPath(name, ".skl"), labels); err != nil {
+		return err
+	}
+	return writeFileAtomic(b.runPath(name, ".xml"), runDoc)
+}
+
+func (b *fsBackend) ListRuns() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(b.dir, "runs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		// Temp files are dot-prefixed, so they never collide with valid
+		// run names even if one survives a crash.
+		if strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".xml") {
+			out = append(out, strings.TrimSuffix(e.Name(), ".xml"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *fsBackend) Stat() Stats { return Stats{Kind: "fs", Path: b.dir} }
+
+func (b *fsBackend) Close() error { return nil }
+
+func (b *fsBackend) runPath(name, ext string) string {
+	return filepath.Join(b.dir, "runs", name+ext)
+}
+
+// writeFileAtomic writes data to a dot-prefixed temp file next to path
+// (so a crash can never leave a stray that collides with a valid run
+// name — ValidRunName forbids the leading dot), fsyncs it, renames it
+// into place, and fsyncs the directory so the rename itself is durable.
+// A crash at any point leaves either the old content or the new content
+// at path, never a truncated mix — and once the call returns, the new
+// content survives power loss. The directory fsync is also what makes
+// WriteRun's skl-before-xml ordering hold across a crash: the .skl
+// rename is on stable storage before the .xml rename is attempted.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	// CreateTemp makes the file 0600; stored blobs keep the historical
+	// os.Create permissions so stores stay shareable across processes
+	// and users.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// memBackend keeps every blob in RAM. It serves three roles: the
+// fastest substrate for tests and benchmarks, an ephemeral store for
+// serving without touching disk (preload an fs store via "mem://<dir>"
+// and every miss is a memory read), and the reference implementation of
+// the Backend contract for the conformance suite.
+type memBackend struct {
+	mu     sync.RWMutex
+	spec   []byte
+	runs   map[string]memRun
+	closed bool
+}
+
+type memRun struct {
+	doc, labels []byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() Backend {
+	return &memBackend{runs: make(map[string]memRun)}
+}
+
+func (b *memBackend) ReadSpec() (io.ReadCloser, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.spec == nil {
+		return nil, fmt.Errorf("store: mem spec: %w", fs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(b.spec)), nil
+}
+
+func (b *memBackend) WriteSpec(data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("store: mem backend is closed")
+	}
+	b.spec = append([]byte(nil), data...)
+	return nil
+}
+
+func (b *memBackend) ReadRun(name string) (io.ReadCloser, error) {
+	return b.readBlob(name, func(r memRun) []byte { return r.doc })
+}
+
+func (b *memBackend) ReadLabels(name string) (io.ReadCloser, error) {
+	return b.readBlob(name, func(r memRun) []byte { return r.labels })
+}
+
+func (b *memBackend) readBlob(name string, pick func(memRun) []byte) (io.ReadCloser, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	r, ok := b.runs[name]
+	if !ok {
+		return nil, fmt.Errorf("store: mem run %q: %w", name, fs.ErrNotExist)
+	}
+	// Stored blobs are never mutated after WriteRun, so readers can share
+	// the slice without copying.
+	return io.NopCloser(bytes.NewReader(pick(r))), nil
+}
+
+func (b *memBackend) WriteRun(name string, runDoc, labels []byte) error {
+	// Copy both blobs before taking the lock: the caller may reuse its
+	// buffers, and the map swap below is what makes the write atomic —
+	// readers see the old pair or the new pair, never a mix.
+	r := memRun{
+		doc:    append([]byte(nil), runDoc...),
+		labels: append([]byte(nil), labels...),
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("store: mem backend is closed")
+	}
+	b.runs[name] = r
+	return nil
+}
+
+func (b *memBackend) ListRuns() ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.runs))
+	for name := range b.runs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *memBackend) Stat() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return Stats{Kind: "mem", Runs: len(b.runs)}
+}
+
+func (b *memBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.spec = nil
+	b.runs = make(map[string]memRun)
+	return nil
+}

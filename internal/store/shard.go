@@ -1,0 +1,116 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// shardBackend fans one logical store out over N child backends, routing
+// each run to the child picked by an FNV-1a hash of the run name. This
+// is the ROADMAP's "shard stores across directories/disks": one serving
+// process fronts many directories (or disks, or future remote stores)
+// while the labeling/query layer above stays unchanged. The specification
+// is replicated to every child so each shard is independently openable as
+// a plain store.
+//
+// Routing is deterministic in the run name and the shard count, so a
+// shard set must be opened with the same children in the same order it
+// was written with.
+type shardBackend struct {
+	children []Backend
+}
+
+// NewShardBackend returns a backend routing runs across the given child
+// backends by hash of the run name. At least one child is required.
+func NewShardBackend(children ...Backend) (Backend, error) {
+	if len(children) == 0 {
+		return nil, errors.New("store: shard backend needs at least one child")
+	}
+	return &shardBackend{children: append([]Backend(nil), children...)}, nil
+}
+
+// shardIndex picks the child for a run name: FNV-1a, the cheap
+// well-distributed hash Go ships for exactly this kind of keying.
+func shardIndex(name string, n int) int {
+	h := fnv.New32a()
+	io.WriteString(h, name)
+	return int(h.Sum32() % uint32(n))
+}
+
+func (b *shardBackend) child(name string) Backend {
+	return b.children[shardIndex(name, len(b.children))]
+}
+
+func (b *shardBackend) ReadSpec() (io.ReadCloser, error) {
+	return b.children[0].ReadSpec()
+}
+
+func (b *shardBackend) WriteSpec(data []byte) error {
+	for i, c := range b.children {
+		if err := c.WriteSpec(data); err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (b *shardBackend) ReadRun(name string) (io.ReadCloser, error) {
+	return b.child(name).ReadRun(name)
+}
+
+func (b *shardBackend) ReadLabels(name string) (io.ReadCloser, error) {
+	return b.child(name).ReadLabels(name)
+}
+
+func (b *shardBackend) WriteRun(name string, runDoc, labels []byte) error {
+	return b.child(name).WriteRun(name, runDoc, labels)
+}
+
+func (b *shardBackend) ListRuns() ([]string, error) {
+	var out []string
+	for i, c := range b.children {
+		names, err := c.ListRuns()
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		out = append(out, names...)
+	}
+	sort.Strings(out)
+	// Routing is deterministic, so duplicates only appear when a child
+	// was populated outside this shard set; drop them to keep ListRuns a
+	// set.
+	out = dedupSorted(out)
+	return out, nil
+}
+
+func dedupSorted(names []string) []string {
+	w := 0
+	for i, n := range names {
+		if i == 0 || n != names[w-1] {
+			names[w] = n
+			w++
+		}
+	}
+	return names[:w]
+}
+
+func (b *shardBackend) Stat() Stats {
+	st := Stats{Kind: "shard", Shards: make([]Stats, len(b.children))}
+	for i, c := range b.children {
+		st.Shards[i] = c.Stat()
+	}
+	return st
+}
+
+func (b *shardBackend) Close() error {
+	var errs []error
+	for i, c := range b.children {
+		if err := c.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("store: shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,23 +1,33 @@
-// Package store persists labeled provenance to disk: the specification,
-// each run's graph and data items (XML), and each run's reachability
-// labels (compact binary snapshots). It is the file-system equivalent of
-// the provenance database the paper targets — "data can be labeled and
-// stored in a database along with its label" — and supports opening a
-// store and answering provenance queries without relabeling anything.
+// Package store persists labeled provenance: the specification, each
+// run's graph and data items (XML), and each run's reachability labels
+// (compact binary snapshots). It is the provenance database the paper
+// targets — "data can be labeled and stored in a database along with its
+// label" — and supports opening a store and answering provenance queries
+// without relabeling anything.
 //
-// Layout:
+// # Architecture
 //
-//	<dir>/spec.xml          the specification
-//	<dir>/runs/<name>.xml   one run (+ data items) per file
-//	<dir>/runs/<name>.skl   the run's label snapshot
+// Store is backend-agnostic logic (run validation, labeling, snapshot
+// binding, session construction) over a blob-level Backend interface.
+// Three backends ship with the package:
+//
+//   - fs: one directory on disk (spec.xml, runs/<name>.xml,
+//     runs/<name>.skl), with atomic temp-file+rename writes
+//   - mem: everything in RAM, for tests and ephemeral serving
+//   - shard: runs hash-routed across N child backends, so one store
+//     spans many directories or disks
+//
+// OpenURL opens any of them from a URL ("fs://dir", a bare path,
+// "mem://dir" to preload a directory into RAM, "shard://a,b,c").
 //
 // # Concurrency
 //
-// A Store is immutable after Create/Open except for the files PutRun
-// writes, so any number of goroutines may call Spec, SpecName, Runs and
-// OpenRun concurrently, including concurrently with PutRun calls for
-// distinct run names. Concurrent PutRun calls for the same name race on
-// the underlying files and must be serialized by the caller.
+// A Store is safe for concurrent use: any number of goroutines may call
+// Spec, SpecName, Runs, OpenRun and Stat concurrently, including
+// concurrently with PutRun calls for distinct run names (the internal
+// skeleton-labeling cache is mutex-guarded; backends are concurrency-
+// safe by contract). Concurrent PutRun calls for the same name race on
+// the underlying blobs and must be serialized by the caller.
 //
 // A Session is immutable once OpenRun returns: Labels, DataView and the
 // run graph answer queries without mutating shared state (search-based
@@ -28,11 +38,9 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/label"
@@ -42,44 +50,94 @@ import (
 	"repro/internal/xmlio"
 )
 
-// Store is an on-disk provenance store for one specification.
+// Store is a provenance store for one specification over some Backend.
 type Store struct {
-	dir      string
+	backend  Backend
 	spec     *spec.Spec
 	specName string
+
+	// skels caches built specification labelings by scheme name, so bulk
+	// PutRun/OpenRun loops label the (small but not free) specification
+	// once per scheme instead of once per call. Labelings are safe for
+	// concurrent readers, so cached entries are shared across sessions.
+	mu    sync.Mutex
+	skels map[string]label.Labeling
 }
 
-// Create initializes a store directory for the specification.
+// New initializes a store over the backend for the specification,
+// persisting the spec document through it.
+func New(b Backend, s *spec.Spec, name string) (*Store, error) {
+	var buf bytes.Buffer
+	if err := xmlio.EncodeSpec(&buf, s, name); err != nil {
+		return nil, err
+	}
+	if err := b.WriteSpec(buf.Bytes()); err != nil {
+		return nil, err
+	}
+	return newStore(b, s, name), nil
+}
+
+// OpenBackend loads an existing store from the backend.
+func OpenBackend(b Backend) (*Store, error) {
+	rc, err := b.ReadSpec()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	s, name, err := xmlio.DecodeSpec(rc)
+	if err != nil {
+		return nil, err
+	}
+	return newStore(b, s, name), nil
+}
+
+func newStore(b Backend, s *spec.Spec, name string) *Store {
+	return &Store{backend: b, spec: s, specName: name, skels: make(map[string]label.Labeling)}
+}
+
+// Create initializes an fs-backed store directory for the specification.
 func Create(dir string, s *spec.Spec, name string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	f, err := os.Create(filepath.Join(dir, "spec.xml"))
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	if err := xmlio.EncodeSpec(f, s, name); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if err := f.Close(); err != nil {
-		return nil, err
-	}
-	return &Store{dir: dir, spec: s, specName: name}, nil
+	return New(NewFSBackend(dir), s, name)
 }
 
-// Open loads an existing store.
+// Open loads an existing fs-backed store.
 func Open(dir string) (*Store, error) {
-	f, err := os.Open(filepath.Join(dir, "spec.xml"))
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	s, name, err := xmlio.DecodeSpec(f)
+	return OpenBackend(NewFSBackend(dir))
+}
+
+// NewMem returns a store over a fresh in-memory backend.
+func NewMem(s *spec.Spec, name string) (*Store, error) {
+	return New(NewMemBackend(), s, name)
+}
+
+// CreateSharded initializes a store sharded across fs-backed child
+// directories, replicating the spec to each so every shard is also
+// independently openable.
+func CreateSharded(dirs []string, s *spec.Spec, name string) (*Store, error) {
+	b, err := newShardFS(dirs)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, spec: s, specName: name}, nil
+	return New(b, s, name)
+}
+
+// OpenSharded loads an existing store sharded across fs-backed child
+// directories; the directory list must match the one it was created
+// with (routing hashes the run name over the shard count and order).
+func OpenSharded(dirs []string) (*Store, error) {
+	b, err := newShardFS(dirs)
+	if err != nil {
+		return nil, err
+	}
+	return OpenBackend(b)
+}
+
+func newShardFS(dirs []string) (Backend, error) {
+	children := make([]Backend, len(dirs))
+	for i, d := range dirs {
+		children[i] = NewFSBackend(d)
+	}
+	return NewShardBackend(children...)
 }
 
 // Spec returns the store's specification.
@@ -88,10 +146,35 @@ func (st *Store) Spec() *spec.Spec { return st.spec }
 // SpecName returns the stored specification's name.
 func (st *Store) SpecName() string { return st.specName }
 
+// Backend returns the store's storage substrate.
+func (st *Store) Backend() Backend { return st.backend }
+
+// Stat describes the store's backend for monitoring.
+func (st *Store) Stat() Stats { return st.backend.Stat() }
+
+// Close releases the backend's resources.
+func (st *Store) Close() error { return st.backend.Close() }
+
+// skeleton returns the cached specification labeling for the scheme,
+// building it on first use.
+func (st *Store) skeleton(scheme label.Scheme) (label.Labeling, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if skel, ok := st.skels[scheme.Name()]; ok {
+		return skel, nil
+	}
+	skel, err := scheme.Build(st.spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	st.skels[scheme.Name()] = skel
+	return skel, nil
+}
+
 // PutRun labels the run (with the given scheme) and persists graph, data
 // items and label snapshot under the given run name.
 func (st *Store) PutRun(name string, r *run.Run, ann *provdata.Annotation, scheme label.Scheme) error {
-	if err := validName(name); err != nil {
+	if err := ValidRunName(name); err != nil {
 		return err
 	}
 	if r.Spec != st.spec {
@@ -102,7 +185,7 @@ func (st *Store) PutRun(name string, r *run.Run, ann *provdata.Annotation, schem
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	skel, err := scheme.Build(st.spec.Graph)
+	skel, err := st.skeleton(scheme)
 	if err != nil {
 		return err
 	}
@@ -110,46 +193,24 @@ func (st *Store) PutRun(name string, r *run.Run, ann *provdata.Annotation, schem
 	if err != nil {
 		return err
 	}
-	rf, err := os.Create(st.runPath(name, ".xml"))
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := xmlio.EncodeRun(rf, r, ann, st.specName); err != nil {
-		rf.Close()
+	var runDoc bytes.Buffer
+	if err := xmlio.EncodeRun(&runDoc, r, ann, st.specName); err != nil {
 		return err
 	}
-	if err := rf.Close(); err != nil {
+	var labels bytes.Buffer
+	if _, err := l.WriteTo(&labels); err != nil {
 		return err
 	}
-	lf, err := os.Create(st.runPath(name, ".skl"))
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := l.WriteTo(lf); err != nil {
-		lf.Close()
-		return err
-	}
-	return lf.Close()
+	return st.backend.WriteRun(name, runDoc.Bytes(), labels.Bytes())
 }
 
 // Runs lists the stored run names, sorted.
 func (st *Store) Runs() ([]string, error) {
-	entries, err := os.ReadDir(filepath.Join(st.dir, "runs"))
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	var out []string
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".xml") {
-			out = append(out, strings.TrimSuffix(e.Name(), ".xml"))
-		}
-	}
-	sort.Strings(out)
-	return out, nil
+	return st.backend.ListRuns()
 }
 
-// Session is a loaded run ready for querying: stored labels bound to a
-// freshly built skeleton labeling, plus the run and its data items.
+// Session is a loaded run ready for querying: stored labels bound to the
+// specification's skeleton labeling, plus the run and its data items.
 type Session struct {
 	Run      *run.Run
 	Data     *provdata.Annotation
@@ -157,25 +218,25 @@ type Session struct {
 	DataView *provdata.Labeling // nil when the run has no data items
 }
 
-// OpenRun loads one run's labels for querying. The scheme rebuilds the
-// skeleton labeling of the (small) specification; the run labels come
-// from the stored snapshot and are not recomputed.
+// OpenRun loads one run's labels for querying. The scheme's skeleton
+// labeling of the (small) specification comes from the store's cache;
+// the run labels come from the stored snapshot and are not recomputed.
 func (st *Store) OpenRun(name string, scheme label.Scheme) (*Session, error) {
-	if err := validName(name); err != nil {
+	if err := ValidRunName(name); err != nil {
 		return nil, err
 	}
-	rf, err := os.Open(st.runPath(name, ".xml"))
+	rf, err := st.backend.ReadRun(name)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
 	r, ann, err := xmlio.DecodeRun(rf, st.spec)
 	rf.Close()
 	if err != nil {
 		return nil, err
 	}
-	lf, err := os.Open(st.runPath(name, ".skl"))
+	lf, err := st.backend.ReadLabels(name)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
 	snap, err := core.ReadSnapshot(lf)
 	lf.Close()
@@ -185,7 +246,7 @@ func (st *Store) OpenRun(name string, scheme label.Scheme) (*Session, error) {
 	if len(snap.Labels) != r.NumVertices() {
 		return nil, fmt.Errorf("store: snapshot covers %d vertices, run has %d", len(snap.Labels), r.NumVertices())
 	}
-	skel, err := scheme.Build(st.spec.Graph)
+	skel, err := st.skeleton(scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -204,19 +265,27 @@ func (st *Store) OpenRun(name string, scheme label.Scheme) (*Session, error) {
 	return sess, nil
 }
 
-func (st *Store) runPath(name, ext string) string {
-	return filepath.Join(st.dir, "runs", name+ext)
-}
-
 // ValidRunName reports whether name is usable as a stored run name:
-// nonempty, no path separators, no "..". Callers accepting run names
-// from untrusted input (e.g. the query server) can reject bad names up
-// front instead of surfacing them as store errors.
+// one or more characters from [A-Za-z0-9._-], not starting with ".".
+// The character class rules out separators, whitespace and control
+// characters on every backend, so a run name is always safe to embed in
+// a file path, a URL or a shard key; banning the leading dot covers the
+// path specials "." and ".." and reserves the dot-prefixed namespace
+// for the fs backend's temp files. Callers accepting run names from
+// untrusted input (e.g. the query server) can reject bad names up front
+// instead of surfacing them as store errors.
 func ValidRunName(name string) error {
-	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+	if name == "" || name[0] == '.' {
 		return fmt.Errorf("store: invalid run name %q", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("store: invalid run name %q", name)
+		}
 	}
 	return nil
 }
-
-func validName(name string) error { return ValidRunName(name) }

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OpenURL opens an existing store from a URL-style locator:
+//
+//	fs://dir          one directory on disk (a bare path means the same)
+//	mem://dir         preload the fs store at dir into RAM and serve from
+//	                  memory (ephemeral: writes are lost on exit)
+//	shard://a,b,...   a store sharded across the listed directories, as
+//	                  created by CreateSharded with the same list
+//
+// A bare "mem://" cannot be opened — an empty memory store has no
+// specification; build one in-process with NewMem instead.
+func OpenURL(rawurl string) (*Store, error) {
+	b, err := openBackendURL(rawurl)
+	if err != nil {
+		return nil, err
+	}
+	st, err := OpenBackend(b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func openBackendURL(rawurl string) (Backend, error) {
+	scheme, rest, ok := strings.Cut(rawurl, "://")
+	if !ok {
+		if rawurl == "" {
+			return nil, fmt.Errorf("store: empty store URL")
+		}
+		return NewFSBackend(rawurl), nil
+	}
+	switch scheme {
+	case "fs":
+		if rest == "" {
+			return nil, fmt.Errorf("store: fs:// needs a directory")
+		}
+		return NewFSBackend(rest), nil
+	case "mem":
+		if rest == "" {
+			return nil, fmt.Errorf("store: mem:// starts empty and has no spec to open; use mem://<dir> to preload a directory, or build one in-process with NewMem")
+		}
+		mem := NewMemBackend()
+		if err := Copy(mem, NewFSBackend(rest)); err != nil {
+			return nil, err
+		}
+		return mem, nil
+	case "shard":
+		var dirs []string
+		for _, d := range strings.Split(rest, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				dirs = append(dirs, d)
+			}
+		}
+		if len(dirs) == 0 {
+			return nil, fmt.Errorf("store: shard:// needs a comma-separated directory list")
+		}
+		return newShardFS(dirs)
+	default:
+		return nil, fmt.Errorf("store: unknown store URL scheme %q (want fs, mem or shard)", scheme)
+	}
+}
+
+// Copy replicates src's spec and every run into dst. It is the
+// workhorse behind "mem://<dir>" warm loading and works between any two
+// backends — e.g. snapshotting an in-memory store to disk, or fanning a
+// single directory out into a fresh shard set.
+func Copy(dst, src Backend) error {
+	spec, err := readAll(src.ReadSpec())
+	if err != nil {
+		return err
+	}
+	if err := dst.WriteSpec(spec); err != nil {
+		return err
+	}
+	names, err := src.ListRuns()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		doc, err := readAll(src.ReadRun(name))
+		if err != nil {
+			return err
+		}
+		labels, err := readAll(src.ReadLabels(name))
+		if err != nil {
+			return err
+		}
+		if err := dst.WriteRun(name, doc, labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAll(rc io.ReadCloser, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}

@@ -104,19 +104,21 @@ func TestToolProvbench(t *testing.T) {
 	}
 }
 
-// TestToolProvserve builds the provserve binary, points it at a store
-// created through the public Store API, and exercises the HTTP endpoints
-// end to end.
+// TestToolProvserve builds the provserve binary, points it at a sharded
+// store created through the public Store API (exercising the -store URL
+// plumbing), and exercises the HTTP endpoints end to end.
 func TestToolProvserve(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test")
 	}
 	dir := t.TempDir()
 
-	// A real on-disk store with one labeled run.
+	// A real on-disk store, sharded across two directories, with one
+	// labeled run.
 	s := repro.PaperSpec()
-	storeDir := filepath.Join(dir, "store")
-	st, err := repro.CreateStore(storeDir, s, "paper")
+	shardDirs := []string{filepath.Join(dir, "shardA"), filepath.Join(dir, "shardB")}
+	storeURL := "shard://" + strings.Join(shardDirs, ",")
+	st, err := repro.NewShardedStore(shardDirs, s, "paper")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +148,7 @@ func TestToolProvserve(t *testing.T) {
 		ln.Close()
 
 		logBuf.Reset()
-		cmd = exec.Command(bin, "-store", storeDir, "-addr", addr)
+		cmd = exec.Command(bin, "-store", storeURL, "-addr", addr)
 		cmd.Stdout, cmd.Stderr = &logBuf, &logBuf
 		if err := cmd.Start(); err != nil {
 			t.Fatal(err)
@@ -186,6 +188,17 @@ func TestToolProvserve(t *testing.T) {
 		cmd.Process.Kill()
 		<-cmdExited // the attempt's goroutine owns cmd.Wait
 	}()
+
+	var health struct {
+		Store struct {
+			Kind   string `json:"kind"`
+			Shards []any  `json:"shards"`
+		} `json:"store"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Store.Kind != "shard" || len(health.Store.Shards) != 2 {
+		t.Fatalf("/healthz store = %+v, want shard with 2 children", health.Store)
+	}
 
 	var reach struct {
 		Reachable bool `json:"reachable"`
@@ -240,6 +253,43 @@ func getJSON(t *testing.T, url string, out any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestToolQueryStore exercises provquery's -store mode: queries answered
+// from a store's persisted snapshot labels, across fs and mem store URLs.
+func TestToolQueryStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	s := repro.PaperSpec()
+	st, err := repro.CreateStore(dir, s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := repro.GenerateRun(s, rand.New(rand.NewSource(3)), 120)
+	rng := rand.New(rand.NewSource(4))
+	if err := st.PutRun("r1", r, repro.RandomData(r, rng, 1.2, 0.3), repro.TCM); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, url := range []string{dir, "fs://" + dir, "mem://" + dir} {
+		out := runTool(t, "provquery", "-store", url, "-run", "r1", "-stats", "-from", "a1", "-to", "h1")
+		for _, want := range []string{"labels: max", "a1 -> h1: reachable"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("provquery -store %s output missing %q:\n%s", url, want, out)
+			}
+		}
+	}
+
+	out := runToolExpectError(t, "provquery", "-store", dir, "-run", "missing", "-from", "a1", "-to", "h1")
+	if !strings.Contains(out, "missing") {
+		t.Fatalf("provquery unknown stored run error unexpected:\n%s", out)
+	}
+	out = runToolExpectError(t, "provquery", "-store", dir)
+	if !strings.Contains(out, "-run") {
+		t.Fatalf("provquery -store without -run error unexpected:\n%s", out)
 	}
 }
 
