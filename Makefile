@@ -5,7 +5,7 @@ GO ?= go
 STORE ?= ./provstore
 ADDR ?= :8080
 
-.PHONY: build test race bench bench-store fmt vet serve ci
+.PHONY: build test race bench bench-store bench-json fmt vet serve ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,17 @@ bench:
 # regression in either substrate shows up in the perf trajectory.
 bench-store:
 	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkServerBatchReachable' -benchtime=3x ./internal/store/ .
+
+# Serving-hot-path benchmarks (snapshot decode + /batch), rendered to
+# BENCH_3.json with the pre-PR3 baseline embedded, so the perf
+# trajectory of both paths is tracked as a CI artifact. Each go test
+# runs as its own command so a failing bench fails the target instead
+# of emitting a silently incomplete BENCH_3.json.
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkSnapshotDecode|BenchmarkSnapshotEncode' -benchtime=100x -count=3 ./internal/core/ > bench-json.out
+	$(GO) test -run='^$$' -bench='BenchmarkServerBatchReachable' -benchtime=50x -count=3 . >> bench-json.out
+	$(GO) run ./cmd/benchjson -baseline bench/BASELINE_3.json -o BENCH_3.json < bench-json.out
+	@rm -f bench-json.out
 
 fmt:
 	@out="$$(gofmt -l .)"; \

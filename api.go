@@ -60,6 +60,9 @@ type (
 	OnlineCopy = online.Copy
 	// LabelSnapshot is a deserialized label set bindable to a skeleton.
 	LabelSnapshot = core.Snapshot
+	// SnapshotVersion identifies a label snapshot wire format (SKL1 or
+	// SKL2); writers emit SKL2, readers auto-detect either.
+	SnapshotVersion = core.SnapshotVersion
 	// EngineEvent is one workflow-engine log record.
 	EngineEvent = events.Event
 	// Engine simulates a workflow system executing a specification.
@@ -218,9 +221,23 @@ func ReadRunXML(rd io.Reader, s *Spec) (*Run, *DataAnnotation, error) {
 	return xmlio.DecodeRun(rd, s)
 }
 
+// Label snapshot wire format versions. Labeling.WriteTo emits the
+// columnar SnapshotV2 format; WriteToVersion pins a version explicitly
+// and the readers auto-detect either, so stores mixing versions keep
+// loading transparently.
+const (
+	SnapshotV1 = core.SnapshotV1
+	SnapshotV2 = core.SnapshotV2
+)
+
 // ReadLabelSnapshot deserializes labels persisted with Labeling.WriteTo;
 // bind a skeleton labeling of the same specification to query them.
+// Both wire formats (SKL1, SKL2) are detected from the leading magic.
 func ReadLabelSnapshot(r io.Reader) (*LabelSnapshot, error) { return core.ReadSnapshot(r) }
+
+// DecodeLabelSnapshot is ReadLabelSnapshot over an in-memory buffer —
+// the fast path when the snapshot bytes are already resident.
+func DecodeLabelSnapshot(data []byte) (*LabelSnapshot, error) { return core.DecodeSnapshot(data) }
 
 // Upstream returns every module execution v's output was derived from,
 // by reverse traversal of the run graph.

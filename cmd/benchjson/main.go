@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// document tracking the serving-path perf trajectory (see `make
+// bench-json`, which emits BENCH_3.json and is uploaded as a CI
+// artifact).
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... ./... | benchjson -o BENCH_3.json -baseline bench/BASELINE_3.json
+//
+// Bench output lines are parsed for ns/op, B/op, allocs/op and MB/s;
+// when -count ran a benchmark several times the fastest run (minimum
+// ns/op) is kept, the conventional way to suppress scheduler noise.
+// The optional -baseline file is embedded verbatim under "baseline" so
+// one document carries both the pre-change and current numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed measurements.
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+	MBs      float64 `json:"mb_s,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "JSON file to embed verbatim under \"baseline\"")
+	flag.Parse()
+
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Tee to stderr so the human-readable output stays visible
+		// without corrupting the JSON document when it goes to stdout.
+		fmt.Fprintln(os.Stderr, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := trimGOMAXPROCS(m[1])
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := result{NsOp: ns}
+		for _, f := range strings.Split(m[3], "\t") {
+			f = strings.TrimSpace(f)
+			val, unit, ok := strings.Cut(f, " ")
+			if !ok {
+				continue
+			}
+			switch unit {
+			case "B/op":
+				r.BOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				r.AllocsOp, _ = strconv.ParseInt(val, 10, 64)
+			case "MB/s":
+				r.MBs, _ = strconv.ParseFloat(val, 64)
+			}
+		}
+		if prev, ok := results[name]; !ok || r.NsOp < prev.NsOp {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark lines found on stdin")
+	}
+
+	doc := map[string]any{
+		"schema":  "provbench.v1",
+		"go":      runtime.Version(),
+		"benches": results,
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatalf("reading baseline: %v", err)
+		}
+		var b any
+		if err := json.Unmarshal(raw, &b); err != nil {
+			fatalf("baseline %s is not valid JSON: %v", *baseline, err)
+		}
+		doc["baseline"] = b
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benches to %s\n", len(results), *out)
+}
+
+// trimGOMAXPROCS drops the "-8" CPU suffix go test appends to
+// benchmark names.
+func trimGOMAXPROCS(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -59,10 +59,11 @@ func main() {
 	}
 
 	var (
-		s   *repro.Spec
-		r   *repro.Run
-		ann *repro.DataAnnotation
-		l   *repro.Labeling
+		s    *repro.Spec
+		r    *repro.Run
+		ann  *repro.DataAnnotation
+		l    *repro.Labeling
+		sess *repro.StoreSession
 	)
 	if *storeURL != "" {
 		// Store mode: the run was labeled at ingest; bind its stored
@@ -71,7 +72,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		sess, err := st.OpenRun(*runPath, sch)
+		sess, err = st.OpenRun(*runPath, sch)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -110,6 +111,11 @@ func main() {
 		fmt.Printf("labels: max %d bits, avg %.2f bits, n+T=%d\n",
 			l.MaxLabelBits(), l.AvgLabelBits(), l.NumPositioned())
 		fmt.Printf("skeleton: %s, %d index bits\n", *scheme, l.Skeleton().IndexBits())
+		if sess != nil {
+			fmt.Printf("snapshot: %s codec, %d bytes (%.2f bytes/label)\n",
+				sess.SnapshotVersion, sess.SnapshotBytes,
+				float64(sess.SnapshotBytes)/float64(r.NumVertices()))
+		}
 	}
 
 	if *from != "" || *to != "" {

@@ -18,8 +18,12 @@
 //	curl localhost:8080/specs
 //	curl localhost:8080/runs
 //	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
-//	curl -d '{"run":"r1","pairs":[["b1","c3"],["c1","b2"]]}' localhost:8080/batch
+//	curl -d '{"run":"r1","pairs":[["b1","c3"],[12,34]]}' localhost:8080/batch
 //	curl 'localhost:8080/lineage?run=r1&vertex=h1&dir=up'
+//
+// /batch pair elements may be occurrence names or vertex IDs, as JSON
+// strings or bare integers; -batch-parallelism fans large batches out
+// across CPUs.
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 		scheme   = flag.String("scheme", "TCM", "skeleton scheme for loaded sessions (TCM, BFS, DFS, Interval, Chain, 2-Hop, Dual)")
 		cache    = flag.Int("cache", 16, "maximum cached run sessions (LRU)")
 		maxBatch = flag.Int("max-batch", 8192, "maximum pairs per /batch request")
+		batchPar = flag.Int("batch-parallelism", 0, "CPUs fanning out one large /batch request (0 = all)")
 	)
 	flag.Parse()
 	if *storeURL == "" {
@@ -56,10 +61,11 @@ func main() {
 	log.Printf("provserve: serving store %q (spec %q, backend %s, scheme %s) on %s",
 		*storeURL, st.SpecName(), st.Stat().Kind, sch.Name(), *addr)
 	err = repro.Serve(*addr, repro.ServerConfig{
-		Store:     st,
-		Scheme:    sch,
-		CacheSize: *cache,
-		MaxBatch:  *maxBatch,
+		Store:            st,
+		Scheme:           sch,
+		CacheSize:        *cache,
+		MaxBatch:         *maxBatch,
+		BatchParallelism: *batchPar,
 	})
 	log.Fatalf("provserve: %v", err)
 }

@@ -2,33 +2,48 @@ package core
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/dag"
 )
+
+// batchParallelThreshold is the batch size below which fanning out
+// across goroutines costs more than it saves; smaller batches are
+// always answered sequentially.
+const batchParallelThreshold = 1024
 
 // ReachableBatch answers many reachability queries, fanning out across
 // CPUs when the batch is large. Labelings are read-only at query time
 // (search-based skeletons use pooled searchers), so parallel evaluation
 // is safe. parallelism <= 0 uses GOMAXPROCS.
 func (l *Labeling) ReachableBatch(pairs [][2]dag.VertexID, parallelism int) []bool {
-	out := make([]bool, len(pairs))
+	return l.AppendReachableBatch(make([]bool, 0, len(pairs)), pairs, parallelism)
+}
+
+// AppendReachableBatch appends one answer per pair to dst and returns
+// the extended slice; it is ReachableBatch for callers reusing a pooled
+// buffer across batches (e.g. the query server's /batch hot path, which
+// serves with zero per-request result allocation). parallelism <= 0
+// uses GOMAXPROCS; batches below an internal threshold are answered
+// sequentially regardless.
+func (l *Labeling) AppendReachableBatch(dst []bool, pairs [][2]dag.VertexID, parallelism int) []bool {
+	base := len(dst)
+	dst = slices.Grow(dst, len(pairs))[:base+len(pairs)]
+	out := dst[base:]
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism == 1 || len(pairs) < 1024 {
+	if parallelism == 1 || len(pairs) < batchParallelThreshold {
 		for i, p := range pairs {
 			out[i] = l.Reachable(p[0], p[1])
 		}
-		return out
+		return dst
 	}
 	chunk := (len(pairs) + parallelism - 1) / parallelism
 	var wg sync.WaitGroup
 	for start := 0; start < len(pairs); start += chunk {
-		end := start + chunk
-		if end > len(pairs) {
-			end = len(pairs)
-		}
+		end := min(start+chunk, len(pairs))
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
@@ -38,5 +53,5 @@ func (l *Labeling) ReachableBatch(pairs [][2]dag.VertexID, parallelism int) []bo
 		}(start, end)
 	}
 	wg.Wait()
-	return out
+	return dst
 }

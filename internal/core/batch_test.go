@@ -79,3 +79,43 @@ func BenchmarkReachableBatch(b *testing.B) {
 		}
 	})
 }
+
+// TestAppendReachableBatch pins the pooled-buffer variant: results are
+// appended after existing elements, the prefix is untouched, and the
+// answers match ReachableBatch in both the sequential and parallel
+// regimes.
+func TestAppendReachableBatch(t *testing.T) {
+	s := spec.PaperSpec()
+	rng := rand.New(rand.NewSource(31))
+	r, _ := run.GenerateSized(s, rng, 3000)
+	skel, _ := label.TCM{}.Build(s.Graph)
+	l, err := core.LabelRun(r, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.NumVertices()
+	pairs := make([][2]dag.VertexID, 2000) // crosses the parallel threshold
+	for i := range pairs {
+		pairs[i] = [2]dag.VertexID{dag.VertexID(rng.Intn(n)), dag.VertexID(rng.Intn(n))}
+	}
+	want := l.ReachableBatch(pairs, 1)
+	for _, par := range []int{1, 0, 8} {
+		dst := []bool{true, false}
+		got := l.AppendReachableBatch(dst, pairs, par)
+		if len(got) != 2+len(pairs) {
+			t.Fatalf("par=%d: len = %d, want %d", par, len(got), 2+len(pairs))
+		}
+		if !got[0] || got[1] {
+			t.Fatalf("par=%d: prefix clobbered", par)
+		}
+		for i := range pairs {
+			if got[2+i] != want[i] {
+				t.Fatalf("par=%d: pair %d = %v, want %v", par, i, got[2+i], want[i])
+			}
+		}
+	}
+	// Appending zero pairs is a no-op.
+	if got := l.AppendReachableBatch(nil, nil, 0); len(got) != 0 {
+		t.Fatalf("empty append returned %d results", len(got))
+	}
+}

@@ -2,9 +2,13 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
+	"slices"
 
 	"repro/internal/dag"
 	"repro/internal/label"
@@ -13,44 +17,116 @@ import (
 // The paper's motivating deployment stores each vertex's reachability
 // label next to the data in a database, so labels must serialize
 // compactly and queries must run on deserialized labels without the run
-// graph. This file provides a varint wire format for label sets and a
-// Snapshot that answers queries from stored labels plus the (shared,
+// graph. This file provides the snapshot wire formats for label sets and
+// a Snapshot that answers queries from stored labels plus the (shared,
 // per-specification) skeleton labeling.
+//
+// # Wire formats
+//
+// Two versions exist; writers emit SKL2 by default and readers
+// auto-detect either from the leading magic, so stores mixing versions
+// keep loading transparently.
+//
+// SKL1 (legacy, row-major): uvarint magic "SKL1", then uvarint count,
+// numPositioned, numSpec, then per label the four components
+// (Q1, Q2, Q3, Orig) as plain uvarints.
+//
+// SKL2 (columnar): uvarint magic "SKL2", then uvarint count,
+// numPositioned, numSpec, then ceil(count/4096) blocks of up to 4096
+// labels. Each block stores its four columns (Q1, Q2, Q3, Orig) in
+// order, each column as
+//
+//	uvarint payloadLen | tag byte | payload (payloadLen bytes)
+//
+// with the writer picking the cheapest of three encodings per column
+// per block: const (every value equal; payload is one uvarint), delta
+// (first value as uvarint, then zigzag-uvarint deltas — consecutive
+// labels share or neighbor the same context, so deltas are tiny), or
+// fixed-width (1/2/4-byte little-endian values). Columns compress
+// independently, so a run whose Orig column is constant while its order
+// positions climb pays one byte where SKL1 paid thousands, and the
+// decoder bulk-reads each column in a single pass over a flat buffer
+// instead of one streaming varint read per component.
 
-const snapshotMagic = uint32(0x534b4c31) // "SKL1"
+// SnapshotVersion identifies a snapshot wire format.
+type SnapshotVersion int
+
+const (
+	// SnapshotV1 is the legacy row-major varint format ("SKL1").
+	SnapshotV1 SnapshotVersion = 1
+	// SnapshotV2 is the columnar block format ("SKL2"), the default for
+	// writers since its introduction.
+	SnapshotV2 SnapshotVersion = 2
+)
+
+// String returns the on-wire name of the version ("SKL1", "SKL2").
+func (v SnapshotVersion) String() string {
+	switch v {
+	case SnapshotV1:
+		return "SKL1"
+	case SnapshotV2:
+		return "SKL2"
+	default:
+		return fmt.Sprintf("SKL?%d", int(v))
+	}
+}
+
+const (
+	snapshotMagicV1 = uint32(0x534b4c31) // "SKL1"
+	snapshotMagicV2 = uint32(0x534b4c32) // "SKL2"
+
+	// snapshotBlock is the number of labels per SKL2 block: large enough
+	// to amortize the 4 column headers, small enough that the decoder's
+	// per-block scratch stays cache-resident.
+	snapshotBlock = 4096
+
+	// maxSnapshotLabels caps the label count a snapshot header may
+	// declare. Headers are attacker-controlled bytes, so the readers
+	// also never allocate more than a bounded chunk up front (see
+	// readSnapshotV1/decodeSnapshotV2): a hostile count fails at the
+	// first missing label, not with a multi-GiB make.
+	maxSnapshotLabels = 1 << 32
+
+	// maxSnapshotPositioned bounds numPositioned so order positions fit
+	// the uint32 label components.
+	maxSnapshotPositioned = 1<<32 - 1
+
+	// maxSnapshotSpec bounds numSpec so origins fit dag.VertexID (int32).
+	maxSnapshotSpec = 1 << 31
+
+	// snapshotPreallocLabels bounds the labels the readers allocate
+	// before any label data has actually been decoded (1<<16 labels =
+	// 1 MiB); beyond it the slice grows only as input is consumed.
+	snapshotPreallocLabels = 1 << 16
+)
+
+// SKL2 per-block column encodings.
+const (
+	colConst   = 0x00 // payload: uvarint value, repeated for the block
+	colDelta   = 0x01 // payload: uvarint first, then zigzag-uvarint deltas
+	colFixed8  = 0x02 // payload: one byte per value
+	colFixed16 = 0x03 // payload: two little-endian bytes per value
+	colFixed32 = 0x04 // payload: four little-endian bytes per value
+)
 
 // WriteTo serializes the labeling's labels (not the skeleton labeling,
-// which is shared across runs and persisted once per specification).
+// which is shared across runs and persisted once per specification) in
+// the current default format, SKL2.
 func (l *Labeling) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var n int64
-	write := func(x uint64) error {
-		var buf [binary.MaxVarintLen64]byte
-		k := binary.PutUvarint(buf[:], x)
-		m, err := bw.Write(buf[:k])
-		n += int64(m)
-		return err
+	return l.WriteToVersion(w, SnapshotV2)
+}
+
+// WriteToVersion serializes the labeling's labels in an explicit wire
+// format version. SnapshotV1 output is byte-identical to what pre-SKL2
+// writers produced; ReadSnapshot accepts both.
+func (l *Labeling) WriteToVersion(w io.Writer, v SnapshotVersion) (int64, error) {
+	s := Snapshot{
+		Labels:        l.labels,
+		NumPositioned: l.numPositioned,
+		NumSpec:       l.numSpec,
+		Version:       v,
 	}
-	if err := write(uint64(snapshotMagic)); err != nil {
-		return n, err
-	}
-	if err := write(uint64(len(l.labels))); err != nil {
-		return n, err
-	}
-	if err := write(uint64(l.numPositioned)); err != nil {
-		return n, err
-	}
-	if err := write(uint64(l.numSpec)); err != nil {
-		return n, err
-	}
-	for _, lab := range l.labels {
-		for _, x := range [4]uint64{uint64(lab.Q1), uint64(lab.Q2), uint64(lab.Q3), uint64(lab.Orig)} {
-			if err := write(x); err != nil {
-				return n, err
-			}
-		}
-	}
-	return n, bw.Flush()
+	return s.WriteTo(w)
 }
 
 // Snapshot is a deserialized label set: it answers reachability queries
@@ -59,25 +135,200 @@ type Snapshot struct {
 	Labels        []Label
 	NumPositioned int
 	NumSpec       int
+	// Version is the wire format the snapshot was decoded from, or the
+	// one WriteTo will encode with; zero means the default (SnapshotV2).
+	Version SnapshotVersion
 }
 
-// ReadSnapshot deserializes a label set written by WriteTo.
+// WriteTo re-serializes the snapshot in its Version's wire format
+// (SnapshotV2 when Version is zero).
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var buf []byte
+	switch v := s.Version; v {
+	case SnapshotV1:
+		buf = appendSnapshotV1(nil, s)
+	case 0, SnapshotV2:
+		buf = appendSnapshotV2(nil, s)
+	default:
+		return 0, fmt.Errorf("core: unknown snapshot version %d", int(v))
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+func appendSnapshotV1(dst []byte, s *Snapshot) []byte {
+	dst = binary.AppendUvarint(dst, uint64(snapshotMagicV1))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Labels)))
+	dst = binary.AppendUvarint(dst, uint64(s.NumPositioned))
+	dst = binary.AppendUvarint(dst, uint64(s.NumSpec))
+	for _, lab := range s.Labels {
+		dst = binary.AppendUvarint(dst, uint64(lab.Q1))
+		dst = binary.AppendUvarint(dst, uint64(lab.Q2))
+		dst = binary.AppendUvarint(dst, uint64(lab.Q3))
+		dst = binary.AppendUvarint(dst, uint64(lab.Orig))
+	}
+	return dst
+}
+
+func appendSnapshotV2(dst []byte, s *Snapshot) []byte {
+	dst = binary.AppendUvarint(dst, uint64(snapshotMagicV2))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Labels)))
+	dst = binary.AppendUvarint(dst, uint64(s.NumPositioned))
+	dst = binary.AppendUvarint(dst, uint64(s.NumSpec))
+	var col [snapshotBlock]uint32
+	for base := 0; base < len(s.Labels); base += snapshotBlock {
+		blk := s.Labels[base:min(base+snapshotBlock, len(s.Labels))]
+		for c := 0; c < 4; c++ {
+			vals := col[:len(blk)]
+			switch c {
+			case 0:
+				for i, lab := range blk {
+					vals[i] = lab.Q1
+				}
+			case 1:
+				for i, lab := range blk {
+					vals[i] = lab.Q2
+				}
+			case 2:
+				for i, lab := range blk {
+					vals[i] = lab.Q3
+				}
+			case 3:
+				for i, lab := range blk {
+					vals[i] = uint32(lab.Orig)
+				}
+			}
+			dst = appendColumn(dst, vals)
+		}
+	}
+	return dst
+}
+
+// appendColumn encodes one non-empty column block, choosing the
+// cheapest of the const, delta and fixed-width encodings.
+func appendColumn(dst []byte, vals []uint32) []byte {
+	first := vals[0]
+	maxv, allEq := first, true
+	deltaSize := uvarintSize(uint64(first))
+	prev := first
+	for _, v := range vals[1:] {
+		if v > maxv {
+			maxv = v
+		}
+		if v != first {
+			allEq = false
+		}
+		deltaSize += uvarintSize(zigzag(int64(v) - int64(prev)))
+		prev = v
+	}
+	if allEq {
+		n := uvarintSize(uint64(first))
+		dst = binary.AppendUvarint(dst, uint64(n))
+		dst = append(dst, colConst)
+		return binary.AppendUvarint(dst, uint64(first))
+	}
+	width, tag := 4, byte(colFixed32)
+	switch {
+	case maxv < 1<<8:
+		width, tag = 1, colFixed8
+	case maxv < 1<<16:
+		width, tag = 2, colFixed16
+	}
+	if fixedSize := width * len(vals); fixedSize <= deltaSize {
+		dst = binary.AppendUvarint(dst, uint64(fixedSize))
+		dst = append(dst, tag)
+		switch tag {
+		case colFixed8:
+			for _, v := range vals {
+				dst = append(dst, byte(v))
+			}
+		case colFixed16:
+			for _, v := range vals {
+				dst = binary.LittleEndian.AppendUint16(dst, uint16(v))
+			}
+		default:
+			for _, v := range vals {
+				dst = binary.LittleEndian.AppendUint32(dst, v)
+			}
+		}
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(deltaSize))
+	dst = append(dst, colDelta)
+	dst = binary.AppendUvarint(dst, uint64(first))
+	prev = first
+	for _, v := range vals[1:] {
+		dst = binary.AppendUvarint(dst, zigzag(int64(v)-int64(prev)))
+		prev = v
+	}
+	return dst
+}
+
+func uvarintSize(x uint64) int { return (bits.Len64(x|1) + 6) / 7 }
+
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// ReadSnapshot deserializes a label set written by WriteTo (either wire
+// format, auto-detected from the magic). Input is untrusted: headers
+// are validated and allocation stays proportional to the bytes actually
+// read, so a corrupt or hostile stream errors out instead of exhausting
+// memory.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReader(r)
-	read := func() (uint64, error) { return binary.ReadUvarint(br) }
-	magic, err := read()
+	magic, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("core: read snapshot header: %w", err)
 	}
-	if uint32(magic) != snapshotMagic {
+	switch uint32(magic) {
+	case snapshotMagicV1:
+		return readSnapshotV1(br)
+	case snapshotMagicV2:
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: read snapshot body: %w", err)
+		}
+		return decodeSnapshotV2(data)
+	default:
 		return nil, fmt.Errorf("core: bad snapshot magic %#x", magic)
 	}
+}
+
+// DecodeSnapshot deserializes a label set from an in-memory buffer; it
+// is ReadSnapshot without the io.Reader indirection and is the fast
+// path for stores that already hold the snapshot bytes.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	magic, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("core: read snapshot header: truncated magic")
+	}
+	if uint32(magic) == snapshotMagicV2 {
+		return decodeSnapshotV2(data[k:])
+	}
+	return ReadSnapshot(bytes.NewReader(data))
+}
+
+// readSnapshotHeader validates the three header counts shared by both
+// formats.
+func readSnapshotHeader(count, np, ns uint64) error {
+	if count > maxSnapshotLabels {
+		return fmt.Errorf("core: implausible label count %d", count)
+	}
+	if np > maxSnapshotPositioned {
+		return fmt.Errorf("core: implausible position bound %d", np)
+	}
+	if ns > maxSnapshotSpec {
+		return fmt.Errorf("core: implausible spec size %d", ns)
+	}
+	return nil
+}
+
+func readSnapshotV1(br *bufio.Reader) (*Snapshot, error) {
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 	count, err := read()
 	if err != nil {
 		return nil, err
-	}
-	if count > 1<<32 {
-		return nil, fmt.Errorf("core: implausible label count %d", count)
 	}
 	np, err := read()
 	if err != nil {
@@ -87,12 +338,18 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := readSnapshotHeader(count, np, ns); err != nil {
+		return nil, err
+	}
 	s := &Snapshot{
-		Labels:        make([]Label, count),
+		// The count is attacker-controlled: pre-allocate a bounded chunk
+		// and let append grow the slice as label data actually arrives.
+		Labels:        make([]Label, 0, min(count, snapshotPreallocLabels)),
 		NumPositioned: int(np),
 		NumSpec:       int(ns),
+		Version:       SnapshotV1,
 	}
-	for i := range s.Labels {
+	for i := uint64(0); i < count; i++ {
 		var vals [4]uint64
 		for j := range vals {
 			v, err := read()
@@ -101,20 +358,155 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 			}
 			vals[j] = v
 		}
-		if vals[0] > uint64(np) || vals[1] > uint64(np) || vals[2] > uint64(np) {
+		if vals[0] > np || vals[1] > np || vals[2] > np {
 			return nil, fmt.Errorf("core: label %d position exceeds n+T=%d", i, np)
 		}
 		if vals[3] >= ns {
 			return nil, fmt.Errorf("core: label %d origin %d exceeds spec size %d", i, vals[3], ns)
 		}
-		s.Labels[i] = Label{
+		s.Labels = append(s.Labels, Label{
 			Q1:   uint32(vals[0]),
 			Q2:   uint32(vals[1]),
 			Q3:   uint32(vals[2]),
 			Orig: dag.VertexID(vals[3]),
-		}
+		})
 	}
 	return s, nil
+}
+
+// decodeSnapshotV2 bulk-decodes the columnar format from the bytes
+// following the magic.
+func decodeSnapshotV2(data []byte) (*Snapshot, error) {
+	var hdr [3]uint64
+	for i := range hdr {
+		v, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, fmt.Errorf("core: read snapshot header: truncated")
+		}
+		hdr[i] = v
+		data = data[k:]
+	}
+	count, np, ns := hdr[0], hdr[1], hdr[2]
+	if err := readSnapshotHeader(count, np, ns); err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Labels:        make([]Label, 0, min(count, snapshotPreallocLabels)),
+		NumPositioned: int(np),
+		NumSpec:       int(ns),
+		Version:       SnapshotV2,
+	}
+	var q1, q2, q3, og [snapshotBlock]uint32
+	for remaining := count; remaining > 0; {
+		n := int(min(remaining, snapshotBlock))
+		base := len(s.Labels)
+		var err error
+		for _, col := range [4][]uint32{q1[:n], q2[:n], q3[:n], og[:n]} {
+			if data, err = decodeColumn(data, col); err != nil {
+				return nil, fmt.Errorf("core: label block at %d: %w", base, err)
+			}
+		}
+		s.Labels = slices.Grow(s.Labels, n)[:base+n]
+		blk := s.Labels[base:]
+		for i := 0; i < n; i++ {
+			if uint64(q1[i]) > np || uint64(q2[i]) > np || uint64(q3[i]) > np {
+				return nil, fmt.Errorf("core: label %d position exceeds n+T=%d", base+i, np)
+			}
+			if uint64(og[i]) >= ns {
+				return nil, fmt.Errorf("core: label %d origin %d exceeds spec size %d", base+i, og[i], ns)
+			}
+			blk[i] = Label{Q1: q1[i], Q2: q2[i], Q3: q3[i], Orig: dag.VertexID(og[i])}
+		}
+		remaining -= uint64(n)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after snapshot", len(data))
+	}
+	return s, nil
+}
+
+// decodeColumn decodes one column block into out (len(out) >= 1) and
+// returns the remaining input.
+func decodeColumn(data []byte, out []uint32) ([]byte, error) {
+	plen64, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("truncated column header")
+	}
+	data = data[k:]
+	if len(data) < 1 || plen64 > uint64(len(data)-1) {
+		return nil, fmt.Errorf("truncated column")
+	}
+	tag := data[0]
+	payload := data[1 : 1+int(plen64)]
+	rest := data[1+int(plen64):]
+	switch tag {
+	case colConst:
+		v, k := binary.Uvarint(payload)
+		if k != len(payload) || k <= 0 || v > math.MaxUint32 {
+			return nil, fmt.Errorf("bad const column")
+		}
+		c := uint32(v)
+		for i := range out {
+			out[i] = c
+		}
+	case colDelta:
+		v0, k := binary.Uvarint(payload)
+		if k <= 0 || v0 > math.MaxUint32 {
+			return nil, fmt.Errorf("bad delta column start")
+		}
+		out[0] = uint32(v0)
+		prev := int64(v0)
+		p := payload[k:]
+		for i := 1; i < len(out); i++ {
+			var uz uint64
+			// Inline the one-byte fast path: deltas are almost always
+			// small, and binary.Uvarint's call overhead dominates here.
+			if len(p) > 0 && p[0] < 0x80 {
+				uz = uint64(p[0])
+				p = p[1:]
+			} else {
+				var k int
+				uz, k = binary.Uvarint(p)
+				if k <= 0 {
+					return nil, fmt.Errorf("truncated delta column")
+				}
+				p = p[k:]
+			}
+			v := prev + unzigzag(uz)
+			if v < 0 || v > math.MaxUint32 {
+				return nil, fmt.Errorf("delta column value out of range")
+			}
+			out[i] = uint32(v)
+			prev = v
+		}
+		if len(p) != 0 {
+			return nil, fmt.Errorf("trailing bytes in delta column")
+		}
+	case colFixed8:
+		if len(payload) != len(out) {
+			return nil, fmt.Errorf("fixed8 column holds %d bytes, want %d", len(payload), len(out))
+		}
+		for i, b := range payload {
+			out[i] = uint32(b)
+		}
+	case colFixed16:
+		if len(payload) != 2*len(out) {
+			return nil, fmt.Errorf("fixed16 column holds %d bytes, want %d", len(payload), 2*len(out))
+		}
+		for i := range out {
+			out[i] = uint32(binary.LittleEndian.Uint16(payload[2*i:]))
+		}
+	case colFixed32:
+		if len(payload) != 4*len(out) {
+			return nil, fmt.Errorf("fixed32 column holds %d bytes, want %d", len(payload), 4*len(out))
+		}
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(payload[4*i:])
+		}
+	default:
+		return nil, fmt.Errorf("unknown column tag %#x", tag)
+	}
+	return rest, nil
 }
 
 // Bind attaches a skeleton labeling to the snapshot, producing a fully

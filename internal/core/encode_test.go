@@ -2,7 +2,11 @@ package core_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -11,6 +15,7 @@ import (
 	"repro/internal/label"
 	"repro/internal/run"
 	"repro/internal/spec"
+	"repro/internal/workload"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -133,5 +138,223 @@ func TestQuickSnapshotRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// labeled16k builds the Fig-13-sized benchmark labeling: a QBLAST
+// stand-in run of ~16000 vertices.
+func labeledQBLAST(t testing.TB, size int) *core.Labeling {
+	t.Helper()
+	s, err := workload.StandIn("QBLAST", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := run.GenerateSized(s, rand.New(rand.NewSource(int64(size))), size)
+	skel, err := label.TCM{}.Build(s.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := core.LabelRun(r, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func encodeVersion(t testing.TB, l *core.Labeling, v core.SnapshotVersion) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := l.WriteToVersion(&buf, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteToVersion(%v) reported %d bytes, wrote %d", v, n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotCrossVersion pins the compatibility contract: both wire
+// formats decode into the same Snapshot (labels byte-identical), with
+// the detected version reported, and each re-encodes losslessly.
+func TestSnapshotCrossVersion(t *testing.T) {
+	l := labeledQBLAST(t, 2000)
+	var want *core.Snapshot
+	for _, v := range []core.SnapshotVersion{core.SnapshotV1, core.SnapshotV2} {
+		data := encodeVersion(t, l, v)
+		snap, err := core.DecodeSnapshot(data)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if snap.Version != v {
+			t.Fatalf("decoded version = %v, want %v", snap.Version, v)
+		}
+		if want == nil {
+			want = snap
+		} else {
+			if !reflect.DeepEqual(snap.Labels, want.Labels) {
+				t.Fatalf("%v labels differ from %v labels", v, want.Version)
+			}
+			if snap.NumPositioned != want.NumPositioned || snap.NumSpec != want.NumSpec {
+				t.Fatalf("%v header (%d,%d) != (%d,%d)", v,
+					snap.NumPositioned, snap.NumSpec, want.NumPositioned, want.NumSpec)
+			}
+		}
+		// Snapshot.WriteTo round-trips in the same version.
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("%v re-encode is not byte-identical", v)
+		}
+		// ReadSnapshot (the io.Reader path) agrees with DecodeSnapshot.
+		snap2, err := core.ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap2.Labels, snap.Labels) || snap2.Version != snap.Version {
+			t.Fatalf("%v: ReadSnapshot disagrees with DecodeSnapshot", v)
+		}
+	}
+}
+
+// TestSnapshotV2Smaller pins the codec's size win: on a Fig-13-sized
+// run SKL2 must use at most 60% of SKL1's bytes.
+func TestSnapshotV2Smaller(t *testing.T) {
+	l := labeledQBLAST(t, 16000)
+	v1 := encodeVersion(t, l, core.SnapshotV1)
+	v2 := encodeVersion(t, l, core.SnapshotV2)
+	ratio := float64(len(v2)) / float64(len(v1))
+	t.Logf("n=%d: SKL1=%d bytes, SKL2=%d bytes (%.0f%%)", l.NumVertices(), len(v1), len(v2), 100*ratio)
+	if ratio > 0.60 {
+		t.Errorf("SKL2 uses %.0f%% of SKL1's bytes; want <= 60%%", 100*ratio)
+	}
+}
+
+// TestSnapshotHostileCount verifies that a header declaring an enormous
+// label count fails fast instead of allocating tens of GiB before any
+// label data is read, in both wire formats.
+func TestSnapshotHostileCount(t *testing.T) {
+	header := func(magic uint32, count uint64) []byte {
+		var b []byte
+		b = binary.AppendUvarint(b, uint64(magic))
+		b = binary.AppendUvarint(b, count)
+		b = binary.AppendUvarint(b, 100) // numPositioned
+		b = binary.AppendUvarint(b, 10)  // numSpec
+		return b
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"v1-max-count", header(0x534b4c31, 1<<32)},
+		{"v2-max-count", header(0x534b4c32, 1<<32)},
+		{"v1-implausible", header(0x534b4c31, 1<<40)},
+		{"v2-implausible", header(0x534b4c32, 1<<40)},
+		{"v2-huge-spec", func() []byte {
+			var b []byte
+			b = binary.AppendUvarint(b, 0x534b4c32)
+			b = binary.AppendUvarint(b, 1)
+			b = binary.AppendUvarint(b, 100)
+			b = binary.AppendUvarint(b, 1<<40)
+			return b
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := core.DecodeSnapshot(tc.data); err == nil {
+				t.Error("hostile header accepted")
+			}
+			if _, err := core.ReadSnapshot(bytes.NewReader(tc.data)); err == nil {
+				t.Error("hostile header accepted by ReadSnapshot")
+			}
+		})
+	}
+}
+
+// TestSnapshotArbitraryValues round-trips hand-built snapshots hitting
+// every column encoding: constant columns, tiny deltas, wild jumps that
+// force fixed-width, and boundary values.
+func TestSnapshotArbitraryValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Boundary values chosen to exercise every column width while
+	// staying representable on 32-bit platforms (int, dag.VertexID).
+	const np = 1<<31 - 1
+	const ns = 1<<31 - 1
+	cases := [][]core.Label{
+		{},
+		{{Q1: 0, Q2: 0, Q3: 0, Orig: 0}},
+		{{Q1: np, Q2: np, Q3: np, Orig: ns - 1}},
+	}
+	// One label set per stress pattern, sized to cross block boundaries.
+	patterned := make([]core.Label, 10000)
+	for i := range patterned {
+		switch {
+		case i%3 == 0: // slowly climbing (delta-friendly)
+			patterned[i] = core.Label{Q1: uint32(i), Q2: uint32(i / 2), Q3: uint32(2 * i), Orig: 5}
+		case i%3 == 1: // random wild jumps (fixed-width)
+			patterned[i] = core.Label{Q1: rng.Uint32() % np, Q2: rng.Uint32() % np, Q3: rng.Uint32() % np, Orig: dag.VertexID(rng.Intn(ns))}
+		default: // constant block
+			patterned[i] = core.Label{Q1: 7, Q2: 7, Q3: 7, Orig: 7}
+		}
+	}
+	cases = append(cases, patterned)
+	for ci, labels := range cases {
+		for _, v := range []core.SnapshotVersion{core.SnapshotV1, core.SnapshotV2} {
+			snap := &core.Snapshot{Labels: labels, NumPositioned: np, NumSpec: ns, Version: v}
+			var buf bytes.Buffer
+			if _, err := snap.WriteTo(&buf); err != nil {
+				t.Fatalf("case %d %v: %v", ci, v, err)
+			}
+			got, err := core.DecodeSnapshot(buf.Bytes())
+			if err != nil {
+				t.Fatalf("case %d %v: %v", ci, v, err)
+			}
+			if len(got.Labels) != len(labels) {
+				t.Fatalf("case %d %v: %d labels, want %d", ci, v, len(got.Labels), len(labels))
+			}
+			for i := range labels {
+				if got.Labels[i] != labels[i] {
+					t.Fatalf("case %d %v: label %d = %+v, want %+v", ci, v, i, got.Labels[i], labels[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSnapshotDecode compares decoding both wire formats at the
+// Fig-13 run sizes; the SKL2 columnar bulk decoder must beat the SKL1
+// streaming-varint path by >= 2x at n=16000 (tracked in BENCH_3.json).
+func BenchmarkSnapshotDecode(b *testing.B) {
+	for _, size := range []int{4000, 16000} {
+		l := labeledQBLAST(b, size)
+		for _, v := range []core.SnapshotVersion{core.SnapshotV1, core.SnapshotV2} {
+			data := encodeVersion(b, l, v)
+			b.Run(fmt.Sprintf("%s/n=%d", v, size), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(data)))
+				b.ReportMetric(float64(len(data))/float64(l.NumVertices()), "bytes/label")
+				for i := 0; i < b.N; i++ {
+					if _, err := core.DecodeSnapshot(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotEncode measures WriteTo for both formats.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	l := labeledQBLAST(b, 16000)
+	for _, v := range []core.SnapshotVersion{core.SnapshotV1, core.SnapshotV2} {
+		b.Run(v.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.WriteToVersion(io.Discard, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+)
+
+// FuzzReadSnapshot feeds arbitrary bytes to the snapshot decoder:
+// snapshots are read from storage backends and could be corrupt or
+// hostile, so decoding must never panic and never allocate out of
+// proportion to the input (the hostile-count headers below declare
+// billions of labels). Anything that does decode must re-encode and
+// decode back to the same labels.
+func FuzzReadSnapshot(f *testing.F) {
+	s := spec.PaperSpec()
+	r, _ := run.GenerateSized(s, rand.New(rand.NewSource(11)), 500)
+	skel, _ := label.TCM{}.Build(s.Graph)
+	l, err := core.LabelRun(r, skel)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, v := range []core.SnapshotVersion{core.SnapshotV1, core.SnapshotV2} {
+		var buf bytes.Buffer
+		if _, err := l.WriteToVersion(&buf, v); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	for _, magic := range []uint32{0x534b4c31, 0x534b4c32} {
+		var hostile []byte
+		hostile = binary.AppendUvarint(hostile, uint64(magic))
+		hostile = binary.AppendUvarint(hostile, 1<<32) // count: 64+ GiB if trusted
+		hostile = binary.AppendUvarint(hostile, 1000)
+		hostile = binary.AppendUvarint(hostile, 1000)
+		f.Add(hostile)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := core.DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// The streaming reader must agree with the buffer decoder.
+		snap2, err := core.ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("DecodeSnapshot accepted what ReadSnapshot rejects: %v", err)
+		}
+		if len(snap2.Labels) != len(snap.Labels) || snap2.Version != snap.Version {
+			t.Fatalf("ReadSnapshot disagrees with DecodeSnapshot")
+		}
+		// Whatever decodes must round-trip in its own version.
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode of decoded snapshot: %v", err)
+		}
+		again, err := core.DecodeSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode of re-encoded snapshot: %v", err)
+		}
+		if len(again.Labels) != len(snap.Labels) {
+			t.Fatalf("round trip lost labels: %d != %d", len(again.Labels), len(snap.Labels))
+		}
+		for i := range snap.Labels {
+			if again.Labels[i] != snap.Labels[i] {
+				t.Fatalf("round trip changed label %d", i)
+			}
+		}
+	})
+}

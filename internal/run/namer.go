@@ -38,3 +38,12 @@ func (nm *Namer) Vertex(name string) (dag.VertexID, bool) {
 	v, ok := nm.byName[name]
 	return v, ok
 }
+
+// VertexBytes is Vertex for a byte-slice key: the compiler elides the
+// string conversion in the map index, so lookup hot paths (the query
+// server's hand-rolled /batch decoder) resolve names with zero
+// allocation.
+func (nm *Namer) VertexBytes(name []byte) (dag.VertexID, bool) {
+	v, ok := nm.byName[string(name)]
+	return v, ok
+}

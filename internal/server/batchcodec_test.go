@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// parseOK parses body into a fresh scratch, failing the test on error.
+func parseOK(t *testing.T, body string, maxPairs int) *batchScratch {
+	t.Helper()
+	sc := getBatchScratch()
+	t.Cleanup(sc.release)
+	if err := parseBatchRequest([]byte(body), sc, maxPairs); err != nil {
+		t.Fatalf("parse %q: %v", body, err)
+	}
+	return sc
+}
+
+func TestParseBatchRequestForms(t *testing.T) {
+	cases := []struct {
+		body string
+		run  string
+		want [][2]string // expected raw ref texts
+	}{
+		{`{"run":"r1","pairs":[["b1","c3"]]}`, "r1", [][2]string{{"b1", "c3"}}},
+		{`{"run":"r1","pairs":[[12,34]]}`, "r1", [][2]string{{"12", "34"}}},
+		{`{"run":"r1","pairs":[["12",34],[7,"c3"]]}`, "r1", [][2]string{{"12", "34"}, {"7", "c3"}}},
+		{`{"pairs":[],"run":"r2"}`, "r2", nil},
+		{` { "run" : "r1" , "pairs" : [ [ "a1" , 0 ] ] } `, "r1", [][2]string{{"a1", "0"}}},
+		// Key order flipped: pairs before run.
+		{`{"pairs":[["a1","b1"]],"run":"r9"}`, "r9", [][2]string{{"a1", "b1"}}},
+		// Unknown keys (scalar, nested object, nested array) are skipped.
+		{`{"run":"r1","debug":true,"opts":{"a":[1,{"b":null}],"s":"x,][}"},"n":-1.5e3,"pairs":[["a1","b2"]]}`,
+			"r1", [][2]string{{"a1", "b2"}}},
+		// Escapes decode: "b2" is "b2", "a\n" holds a newline.
+		{`{"run":"r1","pairs":[["b2","a\n"]]}`, "r1", [][2]string{{"b2", "a\n"}}},
+		// Unicode escapes decode, including a surrogate pair.
+		{`{"run":"r\u0031","pairs":[["\ud83d\ude00","b1"]]}`, "r1", [][2]string{{"\U0001F600", "b1"}}},
+	}
+	for _, c := range cases {
+		sc := parseOK(t, c.body, 100)
+		if string(sc.run) != c.run {
+			t.Errorf("%s: run = %q, want %q", c.body, sc.run, c.run)
+		}
+		if len(sc.tokens) != len(c.want) {
+			t.Fatalf("%s: %d pairs, want %d", c.body, len(sc.tokens), len(c.want))
+		}
+		for i, w := range c.want {
+			if string(sc.tokens[i][0].raw) != w[0] || string(sc.tokens[i][1].raw) != w[1] {
+				t.Errorf("%s: pair %d = (%q,%q), want (%q,%q)", c.body, i,
+					sc.tokens[i][0].raw, sc.tokens[i][1].raw, w[0], w[1])
+			}
+		}
+	}
+}
+
+func TestParseBatchRequestNumericTokens(t *testing.T) {
+	sc := parseOK(t, `{"run":"r","pairs":[[5,"7"]]}`, 10)
+	if sc.tokens[0][0].id != 5 {
+		t.Errorf("numeric element id = %d, want 5", sc.tokens[0][0].id)
+	}
+	if sc.tokens[0][1].id != -1 {
+		t.Errorf("string element id = %d, want -1", sc.tokens[0][1].id)
+	}
+	// A numeric ID beyond int32 range parses but resolves to no vertex.
+	sc2 := parseOK(t, `{"run":"r","pairs":[[99999999999999999999,1]]}`, 10)
+	if sc2.tokens[0][0].id != math.MaxInt32 {
+		t.Errorf("overflowed id = %d, want clamped out of VertexID range", sc2.tokens[0][0].id)
+	}
+}
+
+// TestParseBatchRequestDuplicateKeys pins encoding/json's last-key-wins
+// semantics for repeated keys.
+func TestParseBatchRequestDuplicateKeys(t *testing.T) {
+	sc := parseOK(t, `{"run":"a","pairs":[[1,2]],"run":"b","pairs":[[3,4],[5,6]]}`, 10)
+	if string(sc.run) != "b" {
+		t.Errorf("run = %q, want last value %q", sc.run, "b")
+	}
+	if len(sc.tokens) != 2 || string(sc.tokens[0][0].raw) != "3" {
+		t.Errorf("tokens = %d pairs starting %q, want the last pairs value", len(sc.tokens), sc.tokens[0][0].raw)
+	}
+}
+
+func TestParseBatchRequestErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{`,
+		`[1,2]`,
+		`{"run":1,"pairs":[]}`,                 // run must be a string
+		`{"run":"r","pairs":{"a":1}}`,          // pairs must be an array
+		`{"run":"r","pairs":[["a"]]}`,          // one-element pair
+		`{"run":"r","pairs":[["a","b","c"]]}`,  // three-element pair
+		`{"run":"r","pairs":[[null,"b"]]}`,     // null element
+		`{"run":"r","pairs":[[true,1]]}`,       // bool element
+		`{"run":"r","pairs":[[-1,2]]}`,         // negative ID
+		`{"run":"r","pairs":[[1.5,2]]}`,        // fractional ID
+		`{"run":"r","pairs":[[1e3,2]]}`,        // exponent ID
+		`{"run":"r","pairs":[["a","b"]]}extra`, // trailing garbage
+		`{"run":"r" "pairs":[]}`,               // missing comma
+		`{"run":"\uZZZZ","pairs":[]}`,          // bad \u escape
+		`{"run":"r","pairs":[["a","b"]]`,       // unterminated
+		`{"x":-,"run":"r","pairs":[[0,1]]}`,    // bare minus in skipped number
+		`{"x":"\q","run":"r","pairs":[[0,1]]}`, // bad escape in skipped string
+		strings.Repeat(`{"x":`, 100) + `1` + strings.Repeat(`}`, 100), // deep nesting in a skipped key
+	}
+	for _, body := range bad {
+		sc := getBatchScratch()
+		err := parseBatchRequest([]byte(body), sc, 100)
+		sc.release()
+		if err == nil {
+			t.Errorf("parse %q: accepted malformed body", body)
+		} else if errors.Is(err, errBatchTooLarge) {
+			t.Errorf("parse %q: reported too-large instead of syntax error", body)
+		}
+	}
+}
+
+func TestParseBatchRequestTooLarge(t *testing.T) {
+	sc := getBatchScratch()
+	defer sc.release()
+	err := parseBatchRequest([]byte(`{"run":"r","pairs":[[1,2],[3,4],[5,6]]}`), sc, 2)
+	if !errors.Is(err, errBatchTooLarge) {
+		t.Fatalf("err = %v, want errBatchTooLarge", err)
+	}
+}
+
+func TestAppendBatchResponse(t *testing.T) {
+	out := appendBatchResponse(nil, []byte("my-run.1"), []bool{true, false, true})
+	var resp struct {
+		Run     string `json:"run"`
+		Count   int    `json:"count"`
+		Results []bool `json:"results"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatalf("response %q is not valid JSON: %v", out, err)
+	}
+	if resp.Run != "my-run.1" || resp.Count != 3 ||
+		len(resp.Results) != 3 || !resp.Results[0] || resp.Results[1] || !resp.Results[2] {
+		t.Fatalf("response = %+v", resp)
+	}
+	if !bytes.HasSuffix(out, []byte("\n")) {
+		t.Error("response lost the trailing newline the json.Encoder used to emit")
+	}
+	// Empty results encode as an empty array, not null.
+	if out := appendBatchResponse(nil, []byte("r"), nil); !bytes.Contains(out, []byte(`"results":[]`)) {
+		t.Errorf("empty response = %q", out)
+	}
+}
+
+// TestBatchScratchReuse pins pooling behavior: a scratch reused across
+// requests must not leak state from the previous request.
+func TestBatchScratchReuse(t *testing.T) {
+	sc := getBatchScratch()
+	if err := parseBatchRequest([]byte(`{"run":"first","pairs":[[1,2],[3,4]]}`), sc, 10); err != nil {
+		t.Fatal(err)
+	}
+	sc.results = append(sc.results, true, true)
+	sc.out = appendBatchResponse(sc.out, sc.run, sc.results)
+	sc.release()
+
+	sc2 := getBatchScratch()
+	defer sc2.release()
+	if len(sc2.tokens) != 0 || len(sc2.results) != 0 || len(sc2.out) != 0 || sc2.run != nil {
+		t.Fatalf("reused scratch carries state: %d tokens, %d results, %d out bytes", len(sc2.tokens), len(sc2.results), len(sc2.out))
+	}
+	if err := parseBatchRequest([]byte(`{"run":"second","pairs":[["a1","b1"]]}`), sc2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(sc2.run) != "second" || len(sc2.tokens) != 1 {
+		t.Fatalf("second parse: run=%q tokens=%d", sc2.run, len(sc2.tokens))
+	}
+}

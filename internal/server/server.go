@@ -17,6 +17,10 @@
 //	GET  /reachable?run=R&from=U&to=V
 //	                           one reachability query
 //	POST /batch                {"run":R,"pairs":[[U,V],...]} -> {"results":[...]}
+//	                           pair elements are vertex references as JSON
+//	                           strings ("b2", "12") or bare non-negative
+//	                           integers (12); both forms may be mixed in
+//	                           one request
 //	GET  /lineage?run=R&vertex=V&dir=up|down
 //	                           the vertex's upstream or downstream cone
 //
@@ -25,6 +29,12 @@
 // use: sessions are immutable once loaded (see the store package's
 // concurrency contract) and shared through an LRU cache with singleflight
 // load dedup, so a cache hit answers queries with zero disk I/O.
+//
+// /batch is the allocation-critical path: request decode, pair
+// resolution, batch evaluation and response encode all run in pooled
+// per-request scratch (see batchcodec.go), and large batches fan out
+// across CPUs through the labeling's parallel batch evaluator
+// (Config.BatchParallelism).
 package server
 
 import (
@@ -33,7 +43,6 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"strconv"
 	"time"
 
 	"repro/internal/dag"
@@ -56,6 +65,12 @@ type Config struct {
 	// MaxBatch bounds the number of pairs accepted by one /batch request.
 	// Defaults to 8192.
 	MaxBatch int
+	// BatchParallelism caps the goroutines answering one /batch
+	// request's pairs: batches of at least 1024 pairs are split across
+	// up to this many CPUs (smaller ones are answered sequentially —
+	// fan-out costs more than it saves). <= 0 uses GOMAXPROCS; 1 forces
+	// sequential evaluation.
+	BatchParallelism int
 }
 
 // Server answers provenance queries over one store. It is an
@@ -65,6 +80,7 @@ type Server struct {
 	scheme   label.Scheme
 	cache    *sessionCache
 	maxBatch int
+	batchPar int
 	mux      *http.ServeMux
 }
 
@@ -93,6 +109,7 @@ func New(cfg Config) (*Server, error) {
 		st:       cfg.Store,
 		scheme:   cfg.Scheme,
 		maxBatch: cfg.MaxBatch,
+		batchPar: cfg.BatchParallelism,
 		mux:      http.NewServeMux(),
 	}
 	s.cache = newSessionCache(cfg.CacheSize, s.load)
@@ -164,19 +181,39 @@ func (s *Server) session(w http.ResponseWriter, name string) (*session, bool) {
 	return sess, true
 }
 
-// vertex resolves a vertex reference: an occurrence name ("b2") first —
-// so every name the server itself emits resolves, even when module
-// names start with digits — falling back to a numeric vertex ID.
+// vertex resolves a vertex reference; it and the /batch decoder share
+// vertexBytes so every endpoint resolves references identically.
 func (se *session) vertex(ref string) (dag.VertexID, bool) {
-	if ref == "" {
+	return se.vertexBytes([]byte(ref))
+}
+
+// vertexBytes resolves a vertex reference: an occurrence name ("b2")
+// first — so every name the server itself emits resolves, even when
+// module names start with digits — falling back to a numeric vertex ID
+// (sign-tolerant like the strconv.Atoi path it replaced, without the
+// string conversion the /batch hot path cannot afford).
+func (se *session) vertexBytes(ref []byte) (dag.VertexID, bool) {
+	if len(ref) == 0 {
 		return 0, false
 	}
-	if v, ok := se.namer.Vertex(ref); ok {
+	if v, ok := se.namer.VertexBytes(ref); ok {
 		return v, true
 	}
-	id, err := strconv.Atoi(ref)
-	if err != nil || id < 0 || id >= se.Run.NumVertices() {
+	digits := ref
+	if digits[0] == '+' {
+		digits = digits[1:]
+	}
+	if len(digits) == 0 {
 		return 0, false
+	}
+	id := 0
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if id = id*10 + int(c-'0'); id >= se.Run.NumVertices() {
+			return 0, false
+		}
 	}
 	return dag.VertexID(id), true
 }
@@ -237,12 +274,14 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		items = len(sess.Data.Items)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"run":            name,
-		"vertices":       sess.Run.NumVertices(),
-		"edges":          sess.Run.NumEdges(),
-		"data_items":     items,
-		"max_label_bits": sess.Labels.MaxLabelBits(),
-		"avg_label_bits": sess.Labels.AvgLabelBits(),
+		"run":              name,
+		"vertices":         sess.Run.NumVertices(),
+		"edges":            sess.Run.NumEdges(),
+		"data_items":       items,
+		"max_label_bits":   sess.Labels.MaxLabelBits(),
+		"avg_label_bits":   sess.Labels.AvgLabelBits(),
+		"snapshot_version": sess.SnapshotVersion.String(),
+		"snapshot_bytes":   sess.SnapshotBytes,
 	})
 }
 
@@ -279,63 +318,57 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// batchRequest is the /batch body: pairs of vertex references queried
-// over one run's labels.
-type batchRequest struct {
-	Run   string      `json:"run"`
-	Pairs [][2]string `json:"pairs"`
-}
-
-// batchResponse answers each pair in order.
-type batchResponse struct {
-	Run     string `json:"run"`
-	Count   int    `json:"count"`
-	Results []bool `json:"results"`
-}
-
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	// Bound the body by what maxBatch pairs could plausibly occupy.
 	r.Body = http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*128+4096)
-	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sc := getBatchScratch()
+	defer sc.release()
+	if err := sc.readBody(r.Body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeErr(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
+		writeErr(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	if err := parseBatchRequest(sc.body, sc, s.maxBatch); err != nil {
+		if errors.Is(err, errBatchTooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds limit of %d pairs", s.maxBatch)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "malformed request body: %v", err)
 		return
 	}
-	if len(req.Pairs) > s.maxBatch {
-		writeErr(w, http.StatusRequestEntityTooLarge,
-			"batch of %d pairs exceeds limit %d", len(req.Pairs), s.maxBatch)
-		return
-	}
-	sess, ok := s.session(w, req.Run)
+	sess, ok := s.session(w, string(sc.run))
 	if !ok {
 		return
 	}
-	// The hot path: one []bool allocation for the whole batch, then a
-	// constant-time Reachable per pair — no per-pair allocation.
-	results := make([]bool, len(req.Pairs))
-	for i := range req.Pairs {
-		u, okU := sess.vertex(req.Pairs[i][0])
-		v, okV := sess.vertex(req.Pairs[i][1])
+	for i := range sc.tokens {
+		u, okU := sess.vertexToken(sc.tokens[i][0])
+		v, okV := sess.vertexToken(sc.tokens[i][1])
 		if !okU || !okV {
-			bad := req.Pairs[i][0]
+			bad := sc.tokens[i][0].raw
 			if okU {
-				bad = req.Pairs[i][1]
+				bad = sc.tokens[i][1].raw
 			}
 			writeErr(w, http.StatusNotFound, "pair %d: unknown vertex %q", i, bad)
 			return
 		}
-		results[i] = sess.Labels.Reachable(u, v)
+		sc.pairs = append(sc.pairs, [2]dag.VertexID{u, v})
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Run: req.Run, Count: len(results), Results: results})
+	// The hot path: evaluation and encoding run entirely in the pooled
+	// scratch, fanning out across CPUs for large batches.
+	sc.results = sess.Labels.AppendReachableBatch(sc.results, sc.pairs, s.batchPar)
+	sc.out = appendBatchResponse(sc.out, sc.run, sc.results)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.out)
 }
 
 func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -500,5 +501,150 @@ func TestServerAllBackends(t *testing.T) {
 				t.Fatalf("missing run over %s backend = %d, want 404", bk.kind, rec.Code)
 			}
 		})
+	}
+}
+
+// TestBatchNumericPairs verifies the /batch decoder's second accepted
+// form — bare integers — and that mixed forms answer identically to the
+// all-strings form.
+func TestBatchNumericPairs(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 100)
+	sess, err := st.OpenRun("beta", label.TCM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := run.NewNamer(sess.Run)
+	rng := rand.New(rand.NewSource(17))
+	n := sess.Run.NumVertices()
+	type resp struct {
+		Count   int    `json:"count"`
+		Results []bool `json:"results"`
+	}
+	var pairsStr, pairsMixed []string
+	for i := 0; i < 12; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		pairsStr = append(pairsStr, fmt.Sprintf(`["%d","%d"]`, u, v))
+		switch i % 3 {
+		case 0:
+			pairsMixed = append(pairsMixed, fmt.Sprintf(`[%d,%d]`, u, v))
+		case 1:
+			pairsMixed = append(pairsMixed, fmt.Sprintf(`[%d,"%s"]`, u, nm.Name(dag.VertexID(v))))
+		default:
+			pairsMixed = append(pairsMixed, fmt.Sprintf(`["%s",%d]`, nm.Name(dag.VertexID(u)), v))
+		}
+	}
+	var rs, rm resp
+	recS := do(t, s, "POST", "/batch", `{"run":"beta","pairs":[`+strings.Join(pairsStr, ",")+`]}`, &rs)
+	recM := do(t, s, "POST", "/batch", `{"run":"beta","pairs":[`+strings.Join(pairsMixed, ",")+`]}`, &rm)
+	if recS.Code != 200 || recM.Code != 200 {
+		t.Fatalf("statuses %d, %d; bodies %s / %s", recS.Code, recM.Code, recS.Body, recM.Body)
+	}
+	if rs.Count != 12 || rm.Count != 12 {
+		t.Fatalf("counts %d, %d", rs.Count, rm.Count)
+	}
+	for i := range rs.Results {
+		if rs.Results[i] != rm.Results[i] {
+			t.Fatalf("pair %d: string form %v, mixed form %v", i, rs.Results[i], rm.Results[i])
+		}
+	}
+	// Numeric IDs out of range are 404, like their string twins.
+	if rec := do(t, s, "POST", "/batch", `{"run":"beta","pairs":[[999999,0]]}`, nil); rec.Code != 404 {
+		t.Fatalf("out-of-range numeric ID: %d, want 404", rec.Code)
+	}
+}
+
+// TestBatchParallel answers one large batch with fan-out enabled and
+// checks it against the sequential answers pair by pair.
+func TestBatchParallel(t *testing.T) {
+	_, st := newTestStore(t)
+	seq, err := New(Config{Store: st, MaxBatch: 5000, BatchParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(Config{Store: st, MaxBatch: 5000, BatchParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := st.OpenRun("alpha", label.TCM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	n := sess.Run.NumVertices()
+	var sb strings.Builder
+	sb.WriteString(`{"run":"alpha","pairs":[`)
+	const pairs = 3000 // above the 1024 fan-out threshold
+	for i := 0; i < pairs; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "[%d,%d]", rng.Intn(n), rng.Intn(n))
+	}
+	sb.WriteString(`]}`)
+	type resp struct {
+		Count   int    `json:"count"`
+		Results []bool `json:"results"`
+	}
+	var rSeq, rPar resp
+	if rec := do(t, seq, "POST", "/batch", sb.String(), &rSeq); rec.Code != 200 {
+		t.Fatalf("sequential: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, par, "POST", "/batch", sb.String(), &rPar); rec.Code != 200 {
+		t.Fatalf("parallel: %d %s", rec.Code, rec.Body)
+	}
+	if rSeq.Count != pairs || rPar.Count != pairs {
+		t.Fatalf("counts %d, %d, want %d", rSeq.Count, rPar.Count, pairs)
+	}
+	for i := range rSeq.Results {
+		if rSeq.Results[i] != rPar.Results[i] {
+			t.Fatalf("pair %d: sequential %v, parallel %v", i, rSeq.Results[i], rPar.Results[i])
+		}
+	}
+}
+
+// TestRunDetailSnapshotInfo checks /runs?run=R reports which snapshot
+// codec backs the stored labels.
+func TestRunDetailSnapshotInfo(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 100)
+	var detail struct {
+		SnapshotVersion string `json:"snapshot_version"`
+		SnapshotBytes   int    `json:"snapshot_bytes"`
+	}
+	do(t, s, "GET", "/runs?run=alpha", "", &detail)
+	if detail.SnapshotVersion != "SKL2" || detail.SnapshotBytes <= 0 {
+		t.Fatalf("snapshot info = %+v, want SKL2 with positive size", detail)
+	}
+}
+
+// TestVertexRefEquivalence pins that /reachable and /batch resolve the
+// same reference forms identically (shared resolver), including the
+// sign-tolerant numeric fallback strconv.Atoi used to provide.
+func TestVertexRefEquivalence(t *testing.T) {
+	_, st := newTestStore(t)
+	s := newTestServer(t, st, 4, 100)
+	for _, ref := range []string{"a1", "12", "+12", "007", "-3", "zz9", ""} {
+		var single struct {
+			Reachable *bool `json:"reachable"`
+		}
+		recG := do(t, s, "GET", "/reachable?run=alpha&from="+url.QueryEscape(ref)+"&to=0", "", &single)
+		body, _ := json.Marshal(map[string]any{"run": "alpha", "pairs": [][2]string{{ref, "0"}}})
+		recB := do(t, s, "POST", "/batch", string(body), nil)
+		okG := recG.Code == 200
+		okB := recB.Code == 200
+		if ref == "" {
+			// GET reports a missing parameter (400); /batch carries an
+			// explicit empty string (404). Both reject; codes differ.
+			okG = recG.Code == 400
+			okB = recB.Code == 404
+			if !okG || !okB {
+				t.Errorf("empty ref: GET %d, batch %d", recG.Code, recB.Code)
+			}
+			continue
+		}
+		if okG != okB {
+			t.Errorf("ref %q: GET /reachable %d but /batch %d — endpoints resolve differently", ref, recG.Code, recB.Code)
+		}
 	}
 }

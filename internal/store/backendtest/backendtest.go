@@ -17,6 +17,8 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dag"
 	"repro/internal/store"
 )
 
@@ -233,6 +235,57 @@ func Run(t *testing.T, newBackend Factory) {
 		names, err := b.ListRuns()
 		if err != nil || len(names) != seeded+writers {
 			t.Fatalf("final ListRuns = %v, %v", names, err)
+		}
+	})
+
+	t.Run("CopyPreservesLabelCodecs", func(t *testing.T) {
+		// Backends move label snapshots as opaque blobs, so store.Copy
+		// must preserve them byte-for-byte whichever codec version wrote
+		// them: a replicated store keeps serving SKL1 and SKL2 runs
+		// identically.
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		labels := make([]core.Label, 300)
+		for i := range labels {
+			labels[i] = core.Label{Q1: uint32(i), Q2: uint32(2 * i), Q3: uint32(300 - i), Orig: dag.VertexID(i % 7)}
+		}
+		snap := &core.Snapshot{Labels: labels, NumPositioned: 600, NumSpec: 7}
+		blobs := map[string][]byte{}
+		for _, v := range []core.SnapshotVersion{core.SnapshotV1, core.SnapshotV2} {
+			snap.Version = v
+			var buf bytes.Buffer
+			if _, err := snap.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			name := "run-" + v.String()
+			blobs[name] = buf.Bytes()
+			if err := b.WriteRun(name, []byte("<run "+name+">"), buf.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dst := store.NewMemBackend()
+		defer dst.Close()
+		if err := store.Copy(dst, b); err != nil {
+			t.Fatalf("Copy: %v", err)
+		}
+		for name, want := range blobs {
+			got := read(t, func() (io.ReadCloser, error) { return dst.ReadLabels(name) })
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: copied snapshot is not byte-identical", name)
+			}
+			decoded, err := core.DecodeSnapshot(got)
+			if err != nil {
+				t.Fatalf("%s: copied snapshot does not decode: %v", name, err)
+			}
+			if len(decoded.Labels) != len(labels) {
+				t.Fatalf("%s: %d labels after copy, want %d", name, len(decoded.Labels), len(labels))
+			}
+			for i := range labels {
+				if decoded.Labels[i] != labels[i] {
+					t.Fatalf("%s: label %d changed across Copy", name, i)
+				}
+			}
 		}
 	})
 

@@ -40,6 +40,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/core"
@@ -216,6 +217,12 @@ type Session struct {
 	Data     *provdata.Annotation
 	Labels   *core.Labeling
 	DataView *provdata.Labeling // nil when the run has no data items
+	// SnapshotVersion is the wire format the run's stored label snapshot
+	// was encoded with (SKL1 or SKL2); stores written by older versions
+	// keep loading transparently.
+	SnapshotVersion core.SnapshotVersion
+	// SnapshotBytes is the stored label snapshot's size in bytes.
+	SnapshotBytes int
 }
 
 // OpenRun loads one run's labels for querying. The scheme's skeleton
@@ -238,8 +245,12 @@ func (st *Store) OpenRun(name string, scheme label.Scheme) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap, err := core.ReadSnapshot(lf)
+	raw, err := io.ReadAll(lf)
 	lf.Close()
+	if err != nil {
+		return nil, err
+	}
+	snap, err := core.DecodeSnapshot(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +265,10 @@ func (st *Store) OpenRun(name string, scheme label.Scheme) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess := &Session{Run: r, Data: ann, Labels: l}
+	sess := &Session{
+		Run: r, Data: ann, Labels: l,
+		SnapshotVersion: snap.Version, SnapshotBytes: len(raw),
+	}
 	if ann != nil {
 		dv, err := provdata.LabelData(ann, l)
 		if err != nil {

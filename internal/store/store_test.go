@@ -1,15 +1,18 @@
 package store_test
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/label"
 	"repro/internal/provdata"
 	"repro/internal/run"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/xmlio"
 )
 
 func TestStoreRoundTrip(t *testing.T) {
@@ -125,5 +128,87 @@ func TestStoreErrors(t *testing.T) {
 	badRun.Origin[0] = 99
 	if err := st.PutRun("bad", badRun, nil, label.TCM{}); err == nil {
 		t.Error("PutRun accepted invalid run")
+	}
+}
+
+// TestStoreCrossCodecVersions verifies a store written before the SKL2
+// codec still serves: a run whose label snapshot is stored in the
+// legacy SKL1 format loads byte-identically (same labels, same query
+// answers) next to an SKL2 run, and sessions report which codec backs
+// them.
+func TestStoreCrossCodecVersions(t *testing.T) {
+	s := spec.PaperSpec()
+	st, err := store.NewMem(s, "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	r, _ := run.GenerateSized(s, rng, 400)
+	// "new" goes through PutRun (SKL2). "old" simulates a pre-SKL2
+	// store: same run document, labels written in the V1 wire format
+	// straight through the backend.
+	if err := st.PutRun("new", r, nil, label.TCM{}); err != nil {
+		t.Fatal(err)
+	}
+	skel, err := label.TCM{}.Build(s.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := core.LabelRun(r, skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc, v1 bytes.Buffer
+	if err := xmlio.EncodeRun(&doc, r, nil, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.WriteToVersion(&v1, core.SnapshotV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Backend().WriteRun("old", doc.Bytes(), v1.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	oldSess, err := st.OpenRun("old", label.TCM{})
+	if err != nil {
+		t.Fatalf("OpenRun over SKL1 snapshot: %v", err)
+	}
+	newSess, err := st.OpenRun("new", label.TCM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSess.SnapshotVersion != core.SnapshotV1 || newSess.SnapshotVersion != core.SnapshotV2 {
+		t.Fatalf("snapshot versions = %v, %v; want SKL1, SKL2", oldSess.SnapshotVersion, newSess.SnapshotVersion)
+	}
+	if oldSess.SnapshotBytes != v1.Len() || newSess.SnapshotBytes <= 0 {
+		t.Fatalf("snapshot bytes = %d, %d", oldSess.SnapshotBytes, newSess.SnapshotBytes)
+	}
+	n := r.NumVertices()
+	for q := 0; q < 2000; q++ {
+		u := dag.VertexID(rng.Intn(n))
+		v := dag.VertexID(rng.Intn(n))
+		a, b := oldSess.Labels.Reachable(u, v), newSess.Labels.Reachable(u, v)
+		if a != b || a != l.Reachable(u, v) {
+			t.Fatalf("codec versions disagree at (%d,%d)", u, v)
+		}
+		if oldSess.Labels.Label(u) != newSess.Labels.Label(u) {
+			t.Fatalf("stored label %d differs across codecs", u)
+		}
+	}
+	// store.Copy moves both runs blob-for-blob: the SKL1 run stays SKL1.
+	dst := store.NewMemBackend()
+	if err := store.Copy(dst, st.Backend()); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.OpenBackend(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := st2.OpenRun("old", label.TCM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied.SnapshotVersion != core.SnapshotV1 || copied.SnapshotBytes != v1.Len() {
+		t.Fatalf("copy changed the stored codec: %v, %d bytes", copied.SnapshotVersion, copied.SnapshotBytes)
 	}
 }
