@@ -3,6 +3,7 @@ package repro
 import (
 	"io"
 	"math/rand"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -89,12 +90,18 @@ type (
 	// StoreStats describes a store's backend (kind, path, shard children).
 	StoreStats = store.Stats
 	// QueryServer is a concurrent HTTP provenance query service over a
-	// Store, with an LRU session cache and a batched query endpoint.
+	// Store, with an LRU session cache, a batched query endpoint, an
+	// optional ingest endpoint (PUT /runs/{name}), admission control
+	// (bounded concurrency + per-client rate limits), and warm-restart
+	// support (SaveHotList/WarmFromHotList).
 	QueryServer = server.Server
 	// ServerConfig configures a QueryServer.
 	ServerConfig = server.Config
 	// ServerCacheStats reports the query server's session cache counters.
 	ServerCacheStats = server.CacheStats
+	// ServerAdmissionStats reports the query server's admission-control
+	// counters (inflight/queued gauges, 429 reject counts).
+	ServerAdmissionStats = server.AdmissionStats
 )
 
 // Specification labeling schemes (Section 7).
@@ -352,3 +359,12 @@ func NewServer(cfg ServerConfig) (*QueryServer, error) { return server.New(cfg) 
 // Serve answers provenance queries over HTTP on addr until the listener
 // fails; it is NewServer plus http.Server plumbing.
 func Serve(addr string, cfg ServerConfig) error { return server.ListenAndServe(addr, cfg) }
+
+// NewQueryHTTPServer wraps a handler (typically a QueryServer) in the
+// http.Server configuration the service ships with — read/idle timeouts
+// so slow or idle clients cannot pin connections forever. Use it when
+// you need the *http.Server (graceful Shutdown, custom listeners)
+// instead of the one-call Serve; cmd/provserve does.
+func NewQueryHTTPServer(addr string, h http.Handler) *http.Server {
+	return server.NewHTTPServer(addr, h)
+}

@@ -261,6 +261,52 @@ func BenchmarkOnlineAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkServerIngest measures the write path end to end — XML
+// decode, validation against the spec, skeleton labeling, SKL2 snapshot
+// encode, backend write, and session-cache refresh — as PUT /runs
+// overwrites of one run name over the in-memory backend. This is the
+// per-run cost of remote ingest, the serving-layer counterpart of
+// store.PutRun.
+func BenchmarkServerIngest(b *testing.B) {
+	r := benchRun(b, 1000)
+	st, err := repro.NewMemStore(r.Spec, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Store: st, EnableIngest: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := repro.WriteRunXML(&doc, r, nil, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	body := doc.Bytes()
+	// Ingest then query once so the run is cache-resident: each measured
+	// PUT then exercises the full overwrite path including the
+	// invalidate-and-refresh of the live session.
+	warm := httptest.NewRecorder()
+	srv.ServeHTTP(warm, httptest.NewRequest("PUT", "/runs/r1", bytes.NewReader(body)))
+	if warm.Code != 200 {
+		b.Fatalf("warmup PUT: status %d: %s", warm.Code, warm.Body.String())
+	}
+	warm = httptest.NewRecorder()
+	srv.ServeHTTP(warm, httptest.NewRequest("GET", "/runs?run=r1", nil))
+	if warm.Code != 200 {
+		b.Fatalf("warmup GET: status %d", warm.Code)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("PUT", "/runs/r1", bytes.NewReader(body)))
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
 // BenchmarkServerBatchReachable measures the query server's batched
 // reachability path end to end — JSON decode, cache-hit session lookup,
 // the constant-time Reachable per pair, JSON encode — as the serving

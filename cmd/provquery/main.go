@@ -16,6 +16,15 @@
 //	provquery -store ./provstore -run r1 -from b1 -to c3
 //	provquery -store 'shard://a,b' -run r1 -stats
 //
+// With -put, provquery becomes an ingest smoke-test client: it PUTs the
+// run XML at -run to a running provserve (started with -ingest) under
+// the name given by -as (default: the file's base name), prints the
+// stored snapshot's version and size, and — when -from/-to are also
+// given — immediately queries /reachable over the wire to prove the
+// just-ingested run answers:
+//
+//	provquery -put http://localhost:8080 -run r.xml -as r2 -from b1 -to c3
+//
 // Vertices are addressed by occurrence name (module name plus occurrence
 // index, e.g. "b2" for the second execution of module b), data items by
 // their item name from the run XML.
@@ -23,9 +32,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/url"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro"
@@ -44,8 +58,17 @@ func main() {
 		upstream    = flag.String("upstream", "", "list every module execution this vertex was derived from")
 		stats       = flag.Bool("stats", false, "print labeling statistics")
 		interactive = flag.Bool("i", false, "read queries from stdin: lines of \"<from> <to>\"")
+		putURL      = flag.String("put", "", "provserve base URL: PUT the run XML at -run to the server (ingest smoke test)")
+		putAs       = flag.String("as", "", "stored run name for -put (default: the run file's base name)")
 	)
 	flag.Parse()
+	if *putURL != "" {
+		if *runPath == "" {
+			fatalf("-put needs -run <run XML file>")
+		}
+		putRun(*putURL, *runPath, *putAs, *from, *to)
+		return
+	}
 	if *storeURL == "" && (*specPath == "" || *runPath == "") {
 		fatalf("-spec and -run are required (or -store with -run)")
 	}
@@ -201,6 +224,71 @@ func main() {
 			fmt.Printf(" %s", ann.Items[d].Name)
 		}
 		fmt.Println()
+	}
+}
+
+// putRun PUTs the run XML at path to a provserve under name (default:
+// the file's base name without .xml), then optionally smoke-tests the
+// ingested run with one /reachable query over the wire.
+func putRun(baseURL, path, name, from, to string) {
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), ".xml")
+	}
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	base := strings.TrimSuffix(baseURL, "/")
+	req, err := http.NewRequest(http.MethodPut, base+"/runs/"+url.PathEscape(name), bytes.NewReader(doc))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	var put struct {
+		Run             string `json:"run"`
+		Vertices        int    `json:"vertices"`
+		Edges           int    `json:"edges"`
+		DataItems       int    `json:"data_items"`
+		SnapshotVersion string `json:"snapshot_version"`
+		SnapshotBytes   int    `json:"snapshot_bytes"`
+		Error           string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&put); err != nil {
+		fatalf("PUT %s: status %d, unreadable body: %v", name, resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("PUT %s: status %d: %s", name, resp.StatusCode, put.Error)
+	}
+	fmt.Printf("stored %s: %d vertices, %d edges, %d data items, %s snapshot (%d bytes)\n",
+		put.Run, put.Vertices, put.Edges, put.DataItems, put.SnapshotVersion, put.SnapshotBytes)
+	if from == "" || to == "" {
+		return
+	}
+	q := url.Values{"run": {name}, "from": {from}, "to": {to}}
+	qresp, err := http.Get(base + "/reachable?" + q.Encode())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer qresp.Body.Close()
+	var reach struct {
+		Reachable bool   `json:"reachable"`
+		Error     string `json:"error"`
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&reach); err != nil {
+		fatalf("reachable: status %d, unreadable body: %v", qresp.StatusCode, err)
+	}
+	if qresp.StatusCode != http.StatusOK {
+		fatalf("reachable: status %d: %s", qresp.StatusCode, reach.Error)
+	}
+	if reach.Reachable {
+		fmt.Printf("%s -> %s: reachable (%s depends on %s)\n", from, to, to, from)
+	} else {
+		fmt.Printf("%s -> %s: NOT reachable\n", from, to)
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command provserve serves provenance queries over a stored provenance
-// database as a concurrent HTTP/JSON API.
+// database as a concurrent HTTP/JSON API, optionally accepting new runs
+// over the same connection (the write path).
 //
 // The -store flag takes a URL picking the storage backend (a bare
 // directory path means fs://):
@@ -11,12 +12,15 @@
 //	provserve -store 'shard://diskA/p,diskB/p'    one store sharded
 //	                                              across directories
 //	provserve -store ./provstore -addr :9090 -scheme BFS -cache 64
+//	provserve -store ./provstore -ingest -warm    accept PUT /runs and
+//	                                              warm-restart the cache
 //
 // Endpoints (see internal/server):
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/specs
 //	curl localhost:8080/runs
+//	curl -X PUT --data-binary @run.xml localhost:8080/runs/r2
 //	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
 //	curl -d '{"run":"r1","pairs":[["b1","c3"],[12,34]]}' localhost:8080/batch
 //	curl 'localhost:8080/lineage?run=r1&vertex=h1&dir=up'
@@ -24,25 +28,47 @@
 // /batch pair elements may be occurrence names or vertex IDs, as JSON
 // strings or bare integers; -batch-parallelism fans large batches out
 // across CPUs.
+//
+// Admission control: at most -max-inflight requests execute at once
+// with up to -queue-depth more waiting; beyond that (or past a
+// per-client -rate requests/second) the server answers 429 with
+// Retry-After instead of building unbounded backlog. /healthz bypasses
+// admission so monitoring works under load.
+//
+// With -warm, shutdown (SIGINT/SIGTERM) snapshots the list of hot
+// sessions to the store and the next -warm start preloads them before
+// accepting traffic, so a restart does not reintroduce cold-load
+// latency on the busiest runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		storeURL = flag.String("store", "", "store URL: fs://dir (or a bare path), mem://dir, shard://dirA,dirB,... (required)")
-		scheme   = flag.String("scheme", "TCM", "skeleton scheme for loaded sessions (TCM, BFS, DFS, Interval, Chain, 2-Hop, Dual)")
-		cache    = flag.Int("cache", 16, "maximum cached run sessions (LRU)")
-		maxBatch = flag.Int("max-batch", 8192, "maximum pairs per /batch request")
-		batchPar = flag.Int("batch-parallelism", 0, "CPUs fanning out one large /batch request (0 = all)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		storeURL    = flag.String("store", "", "store URL: fs://dir (or a bare path), mem://dir, shard://dirA,dirB,... (required)")
+		scheme      = flag.String("scheme", "TCM", "skeleton scheme for loaded sessions (TCM, BFS, DFS, Interval, Chain, 2-Hop, Dual)")
+		cache       = flag.Int("cache", 16, "maximum cached run sessions (LRU)")
+		maxBatch    = flag.Int("max-batch", 8192, "maximum pairs per /batch request")
+		batchPar    = flag.Int("batch-parallelism", 0, "CPUs fanning out one large /batch request (0 = all)")
+		ingest      = flag.Bool("ingest", false, "accept PUT /runs/{name} run documents (the write path)")
+		maxIngest   = flag.Int64("max-ingest-bytes", 16<<20, "maximum ingest request body size")
+		maxInflight = flag.Int("max-inflight", 64, "maximum concurrently executing requests")
+		queueDepth  = flag.Int("queue-depth", 0, "requests allowed to wait for a slot before 429 (0 = 2*max-inflight)")
+		rate        = flag.Float64("rate", 0, "per-client rate limit in requests/second (0 = unlimited)")
+		burst       = flag.Float64("burst", 0, "per-client rate-limit burst, min 1 token (0 = 2*rate)")
+		warm        = flag.Bool("warm", false, "preload the store's saved hot-session list on start and save it on shutdown")
 	)
 	flag.Parse()
 	if *storeURL == "" {
@@ -58,14 +84,59 @@ func main() {
 	if err != nil {
 		log.Fatalf("provserve: %v", err)
 	}
-	log.Printf("provserve: serving store %q (spec %q, backend %s, scheme %s) on %s",
-		*storeURL, st.SpecName(), st.Stat().Kind, sch.Name(), *addr)
-	err = repro.Serve(*addr, repro.ServerConfig{
+	srv, err := repro.NewServer(repro.ServerConfig{
 		Store:            st,
 		Scheme:           sch,
 		CacheSize:        *cache,
 		MaxBatch:         *maxBatch,
 		BatchParallelism: *batchPar,
+		EnableIngest:     *ingest,
+		MaxIngestBytes:   *maxIngest,
+		MaxInflight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		RatePerClient:    *rate,
+		RateBurst:        *burst,
 	})
-	log.Fatalf("provserve: %v", err)
+	if err != nil {
+		log.Fatalf("provserve: %v", err)
+	}
+	if *warm {
+		// Warm before listening: the first request a client can reach
+		// already hits a preloaded cache.
+		n, err := srv.WarmFromHotList()
+		if err != nil {
+			log.Printf("provserve: warm preload failed (serving cold): %v", err)
+		} else {
+			log.Printf("provserve: warm preloaded %d session(s)", n)
+		}
+	}
+	log.Printf("provserve: serving store %q (spec %q, backend %s, scheme %s, ingest %v) on %s",
+		*storeURL, st.SpecName(), st.Stat().Kind, sch.Name(), *ingest, *addr)
+
+	httpSrv := repro.NewQueryHTTPServer(*addr, srv)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("provserve: %v", err)
+	case sig := <-stop:
+		log.Printf("provserve: %v: shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("provserve: shutdown: %v", err)
+	}
+	// Save the hot list only after the drain: requests completing during
+	// shutdown still load, ingest and evict sessions, and the list
+	// should record where the cache actually ended up.
+	if *warm {
+		if err := srv.SaveHotList(); err != nil {
+			log.Printf("provserve: saving hot list: %v", err)
+		} else {
+			log.Printf("provserve: saved hot list (%d cached session(s))", srv.Stats().Cached)
+		}
+	}
 }

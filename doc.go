@@ -47,6 +47,51 @@
 //	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
 //	curl -d '{"run":"r1","pairs":[["b1","c3"],["c1","b2"]]}' localhost:8080/batch
 //
+// # The write path: remote ingest
+//
+// With ServerConfig.EnableIngest (or `provserve -ingest`) the server
+// also accepts new runs over HTTP — the paper's dynamic-capture setting,
+// where runs of a fixed specification arrive continuously and must
+// become queryable without relabeling anything already stored:
+//
+//	curl -X PUT --data-binary @run.xml localhost:8080/runs/r2
+//	provquery -put http://localhost:8080 -run run.xml -as r2 -from b1 -to c3
+//
+// The body is the xmlio run document (data items inline). The server
+// decodes and validates it against the store's specification, labels it
+// under the serving scheme, persists it through store.PutRun, refreshes
+// the session cache, and answers with the stored snapshot's version and
+// size; the very next /reachable, /batch or /lineage query sees the new
+// run. PUT of an existing name overwrites it: the server serializes
+// same-name writes and loads on a per-name lock, so queries through
+// this server see the complete old run or the complete new run, never a
+// torn mix, while distinct names ingest in parallel. (Processes writing
+// the same store name from outside the server are the deployment's to
+// serialize, per the StoreBackend contract.)
+//
+// # Admission control
+//
+// Every endpoint but /healthz sits behind an admission layer: at most
+// MaxInflight requests execute concurrently, up to QueueDepth more wait
+// for a slot, and everything beyond that — or past an optional
+// per-client token-bucket rate (RatePerClient/RateBurst, keyed by
+// X-Client-ID or remote host) — is answered 429 with a Retry-After the
+// client can honor. A cold-cache stampede or an ingest burst therefore
+// degrades into queued-then-shed load with bounded memory instead of
+// unbounded in-flight labelings. /healthz reports the gauges
+// (inflight, queued, peak, rejects) alongside cache and store stats.
+//
+// # Warm restarts
+//
+// `provserve -warm` closes the loop between restarts: on graceful
+// shutdown the server saves which sessions were resident in the cache
+// (the hot list, a meta blob on the store written through the
+// StoreBackend interface), and the next `-warm` start preloads exactly
+// those sessions before accepting traffic — the busiest runs answer
+// their first post-restart query as a cache hit, not a cold load.
+// In-process, Server.SaveHotList and Server.WarmFromHotList expose the
+// same steps.
+//
 // # Storage backends
 //
 // A Store is backend-agnostic logic (validation, labeling, snapshot

@@ -1,7 +1,9 @@
 // Quickstart: build the paper's running example specification, generate a
 // run, label it with the skeleton-based scheme, answer the three
 // provenance queries from the paper's introduction, and finally serve the
-// labeled run over HTTP the way a production deployment would.
+// labeled run over HTTP the way a production deployment would — including
+// the write path: a second run is ingested over the wire with
+// PUT /runs/{name} and queried immediately.
 //
 // The serving section uses an in-memory store backend; the same code
 // works over any backend the store package ships. In production you pick
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"log"
@@ -93,7 +96,7 @@ func main() {
 	if err := st.PutRun("figure3", fr, nil, repro.TCM); err != nil {
 		log.Fatal(err)
 	}
-	srv, err := repro.NewServer(repro.ServerConfig{Store: st})
+	srv, err := repro.NewServer(repro.ServerConfig{Store: st, EnableIngest: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,8 +110,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
 	answer, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET %s\n%s", url, answer)
+
+	// The write path: ingest the 2000-execution run over HTTP (the body
+	// is the run's XML document) and query it immediately — this is how
+	// a mem-backed provserve is populated remotely (`provserve -ingest`;
+	// `provquery -put` is the command-line client).
+	var doc bytes.Buffer
+	if err := repro.WriteRunXML(&doc, r, nil, "quickstart"); err != nil {
+		log.Fatal(err)
+	}
+	putURL := fmt.Sprintf("http://%s/runs/r2000", ln.Addr())
+	req, err := http.NewRequest(http.MethodPut, putURL, &doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stored, err := io.ReadAll(putResp.Body)
+	putResp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPUT %s\n%s", putURL, stored)
+	url = fmt.Sprintf("http://%s/reachable?run=r2000&from=0&to=%d", ln.Addr(), r.NumVertices()-1)
+	resp, err = http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answer, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
 	if err != nil {
 		log.Fatal(err)
 	}

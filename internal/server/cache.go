@@ -20,9 +20,10 @@ type sessionCache struct {
 	entries map[string]*list.Element // run name -> element holding *cacheEntry
 	order   *list.List               // front = most recently used
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
 }
 
 // cacheEntry is one cached (or in-flight) session load. ready is closed
@@ -83,15 +84,69 @@ func (c *sessionCache) Get(name string) (*session, error) {
 			delete(c.entries, name)
 		}
 	} else {
-		for c.order.Len() > c.max {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).name)
-			c.evictions.Add(1)
-		}
+		c.evictOverCapacityLocked()
 	}
 	c.mu.Unlock()
 	return sess, err
+}
+
+// evictOverCapacityLocked drops least-recently-used entries until the
+// cache is back within max; the caller holds c.mu.
+func (c *sessionCache) evictOverCapacityLocked() {
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).name)
+		c.evictions.Add(1)
+	}
+}
+
+// Invalidate drops the named entry so the next Get reloads from the
+// backend. It is the write path's cache-coherence hook: after an ingest
+// overwrites a stored run, the stale session must not keep answering.
+// An in-flight load for the name is detached rather than interrupted —
+// its waiters still receive the (pre-write) session they asked for, but
+// the result is no longer cached. Reports whether an entry was dropped.
+func (c *sessionCache) Invalidate(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[name]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.entries, name)
+	c.invalidations.Add(1)
+	return true
+}
+
+// Put installs an already-resolved session at the front of the LRU,
+// replacing any entry (cached or in-flight) for the name. It is the
+// ingest path's refresh: the session was just built from the labeling
+// in hand, so going back to the backend for it would be pure waste.
+func (c *sessionCache) Put(name string, sess *session) {
+	e := &cacheEntry{name: name, ready: make(chan struct{}), sess: sess}
+	close(e.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[name]; ok {
+		c.order.Remove(el)
+	}
+	c.entries[name] = c.order.PushFront(e)
+	c.evictOverCapacityLocked()
+}
+
+// Names returns the cached run names, most recently used first.
+// In-flight loads count: a session being loaded right now is by
+// definition hot. The slice is the warm-restart hot list.
+func (c *sessionCache) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		names = append(names, el.Value.(*cacheEntry).name)
+	}
+	return names
 }
 
 // Len returns the number of cached (or in-flight) sessions.
@@ -103,17 +158,19 @@ func (c *sessionCache) Len() int {
 
 // CacheStats is a snapshot of the session cache's counters.
 type CacheStats struct {
-	Cached    int   `json:"cached"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
+	Cached        int   `json:"cached"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
 }
 
 func (c *sessionCache) Stats() CacheStats {
 	return CacheStats{
-		Cached:    c.Len(),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Cached:        c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
 	}
 }

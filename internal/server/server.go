@@ -10,10 +10,14 @@
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness + backend + cache statistics
+//	GET  /healthz              liveness + backend + cache + admission stats
 //	GET  /specs                the store's specification (modules, channels)
 //	GET  /runs                 stored run names
 //	GET  /runs?run=R           one run's size and label statistics
+//	PUT  /runs/{name}          ingest one run document (xmlio run XML, data
+//	                           items inline); the run is labeled, persisted
+//	                           via store.PutRun, and immediately queryable
+//	                           (requires Config.EnableIngest)
 //	GET  /reachable?run=R&from=U&to=V
 //	                           one reachability query
 //	POST /batch                {"run":R,"pairs":[[U,V],...]} -> {"results":[...]}
@@ -35,6 +39,18 @@
 // per-request scratch (see batchcodec.go), and large batches fan out
 // across CPUs through the labeling's parallel batch evaluator
 // (Config.BatchParallelism).
+//
+// Every endpoint except /healthz sits behind an admission-control layer
+// (admission.go): a bounded concurrency gate with a bounded wait queue,
+// plus optional per-client token-bucket rate limits. Overload answers
+// 429 with Retry-After instead of accumulating unbounded in-flight
+// work, so cold-cache stampedes and ingest bursts degrade gracefully.
+//
+// The write path (ingest.go) pairs with warm-restart support:
+// SaveHotList persists which sessions were resident at shutdown and
+// WarmFromHotList preloads them before a restarted server takes
+// traffic, trading a short startup delay for zero cold-load latency on
+// the first queries (see cmd/provserve's -warm flag).
 package server
 
 import (
@@ -71,17 +87,43 @@ type Config struct {
 	// fan-out costs more than it saves). <= 0 uses GOMAXPROCS; 1 forces
 	// sequential evaluation.
 	BatchParallelism int
+	// EnableIngest turns on the write path: PUT /runs/{name} labels and
+	// persists posted run documents. Off by default so a server over a
+	// shared or read-only store cannot be written through.
+	EnableIngest bool
+	// MaxIngestBytes bounds one ingest request body. Defaults to 16 MiB.
+	MaxIngestBytes int64
+	// MaxInflight bounds how many requests execute concurrently across
+	// all endpoints but /healthz; excess requests wait in a bounded
+	// queue. Defaults to 64.
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for an execution
+	// slot before new arrivals are shed with 429/Retry-After. Defaults
+	// to 2*MaxInflight.
+	QueueDepth int
+	// RatePerClient, when positive, enforces a per-client token-bucket
+	// rate limit (requests per second), keyed by X-Client-ID or remote
+	// host. 0 disables rate limiting.
+	RatePerClient float64
+	// RateBurst is the token bucket's capacity. <= 0 means
+	// 2*RatePerClient; values below one token are clamped to 1 (a
+	// bucket that can never fill a whole token would reject forever).
+	RateBurst float64
 }
 
 // Server answers provenance queries over one store. It is an
 // http.Handler; all methods are safe for concurrent use.
 type Server struct {
-	st       *store.Store
-	scheme   label.Scheme
-	cache    *sessionCache
-	maxBatch int
-	batchPar int
-	mux      *http.ServeMux
+	st             *store.Store
+	scheme         label.Scheme
+	cache          *sessionCache
+	maxBatch       int
+	batchPar       int
+	ingest         bool
+	maxIngestBytes int64
+	runMu          runLocks
+	adm            *admission
+	mux            *http.ServeMux
 }
 
 // session is one cached run: the stored session plus the name index,
@@ -105,52 +147,122 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 8192
 	}
+	if cfg.MaxIngestBytes <= 0 {
+		cfg.MaxIngestBytes = 16 << 20
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.MaxInflight
+	}
 	s := &Server{
-		st:       cfg.Store,
-		scheme:   cfg.Scheme,
-		maxBatch: cfg.MaxBatch,
-		batchPar: cfg.BatchParallelism,
-		mux:      http.NewServeMux(),
+		st:             cfg.Store,
+		scheme:         cfg.Scheme,
+		maxBatch:       cfg.MaxBatch,
+		batchPar:       cfg.BatchParallelism,
+		ingest:         cfg.EnableIngest,
+		maxIngestBytes: cfg.MaxIngestBytes,
+		adm:            newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.RatePerClient, cfg.RateBurst),
+		mux:            http.NewServeMux(),
 	}
 	s.cache = newSessionCache(cfg.CacheSize, s.load)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/specs", s.handleSpecs)
 	s.mux.HandleFunc("/runs", s.handleRuns)
+	s.mux.HandleFunc("PUT /runs/{name}", s.handleIngest)
 	s.mux.HandleFunc("/reachable", s.handleReachable)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/lineage", s.handleLineage)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. /healthz bypasses admission so the
+// server stays observable while shedding load; everything else pays the
+// admission toll (rate limit + bounded concurrency) before dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	release, ok := s.adm.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.mux.ServeHTTP(w, r)
+}
 
 // Stats returns the session cache's counters.
 func (s *Server) Stats() CacheStats { return s.cache.Stats() }
 
+// AdmissionState returns the admission layer's counters.
+func (s *Server) AdmissionState() AdmissionStats { return s.adm.Stats() }
+
+// SaveHotList persists the names of the sessions currently resident in
+// the cache (most recently used first) to the store's hot-list meta
+// blob, so the next server over the same store can WarmFromHotList.
+// Call it on graceful shutdown (cmd/provserve does, under -warm).
+func (s *Server) SaveHotList() error { return s.st.WriteHotList(s.cache.Names()) }
+
+// WarmFromHotList preloads the store's saved hot-session list into the
+// cache, returning how many sessions loaded. Stale entries (runs since
+// deleted, corrupt snapshots) are skipped, not fatal: the list is
+// advisory, and a partially warm cache still beats a cold one. Loads
+// run oldest-first so the list's most recently used name ends up at the
+// front of the LRU, exactly as it was at shutdown.
+func (s *Server) WarmFromHotList() (int, error) {
+	names, err := s.st.ReadHotList()
+	if err != nil {
+		return 0, err
+	}
+	if len(names) > s.cache.max {
+		names = names[:s.cache.max]
+	}
+	loaded := 0
+	for i := len(names) - 1; i >= 0; i-- {
+		if _, err := s.cache.Get(names[i]); err == nil {
+			loaded++
+		}
+	}
+	return loaded, nil
+}
+
+// NewHTTPServer wraps a handler in the http.Server configuration every
+// deployment of this service should carry: read/idle timeouts so slow
+// or idle clients cannot pin connections forever. ListenAndServe and
+// cmd/provserve both build on it, so the timeout policy lives in
+// exactly one place.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // ListenAndServe builds a Server and serves it on addr until the
-// listener fails. The http.Server carries read/idle timeouts so slow or
-// idle clients cannot pin connections forever.
+// listener fails.
 func ListenAndServe(addr string, cfg Config) error {
 	s, err := New(cfg)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s,
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
-	return srv.ListenAndServe()
+	return NewHTTPServer(addr, s).ListenAndServe()
 }
 
 // load opens one run from the store's backend; it runs at most once per
 // run name at a time (singleflight in the cache) and its result is
-// shared by all subsequent cache hits.
+// shared by all subsequent cache hits. It holds the run's read lock so
+// an in-process ingest can never overwrite the blobs mid-load and hand
+// back a torn session (old document, new labels); see ingest.go.
 func (s *Server) load(name string) (*session, error) {
+	mu := s.runMu.forName(name)
+	mu.RLock()
 	sess, err := s.st.OpenRun(name, s.scheme)
+	mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -223,11 +335,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"spec":   s.st.SpecName(),
-		"scheme": s.scheme.Name(),
-		"store":  s.st.Stat(),
-		"cache":  s.cache.Stats(),
+		"status":    "ok",
+		"spec":      s.st.SpecName(),
+		"scheme":    s.scheme.Name(),
+		"ingest":    s.ingest,
+		"store":     s.st.Stat(),
+		"cache":     s.cache.Stats(),
+		"admission": s.adm.Stats(),
 	})
 }
 

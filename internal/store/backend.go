@@ -15,13 +15,23 @@ import "io"
 // All methods must be safe for concurrent use. WriteRun must be atomic
 // with respect to run visibility: a half-written run must never become
 // visible to ListRuns or readable through ReadRun/ReadLabels — a listed
-// run always has both blobs intact. Overwriting an existing run while
-// other goroutines read or write that same name races (mirroring the
-// Store contract) and must be serialized by the caller; distinct names
-// never interfere. Reading a run or spec that was never written must
-// return an error satisfying errors.Is(err, fs.ErrNotExist) — the
-// serving layer relies on that to distinguish 404 from 500. ListRuns
-// returns names sorted ascending.
+// run always has both blobs intact, and the label snapshot must become
+// readable no later than the run document (labels-before-XML ordering:
+// a reader that observes the document can always read the labels).
+// WriteRun on an existing name overwrites: the new pair replaces the
+// old, each blob is replaced whole (never truncated or interleaved),
+// and ListRuns keeps reporting the name exactly once. Overwrite is NOT
+// atomic across the pair, though: a reader interleaving an overwrite
+// may pair the old document with the new labels (or vice versa), which
+// is why overwriting a name while other goroutines read or write that
+// same name races (mirroring the Store contract) and must be serialized
+// by the caller — the serving layer does so with a per-run-name
+// reader/writer lock around its loads and ingests. Distinct names never
+// interfere. Reading a run, spec or meta blob that was never written
+// must return an error satisfying
+// errors.Is(err, fs.ErrNotExist) — the serving layer relies on that to
+// distinguish 404 from 500. ListRuns returns names sorted ascending and
+// never includes meta blobs.
 type Backend interface {
 	// ReadSpec streams the stored specification document.
 	ReadSpec() (io.ReadCloser, error)
@@ -37,6 +47,16 @@ type Backend interface {
 	WriteRun(name string, runDoc, labels []byte) error
 	// ListRuns returns the stored run names, sorted ascending.
 	ListRuns() ([]string, error)
+	// ReadMeta streams a small named metadata blob (e.g. the serving
+	// layer's hot-session list). Meta names are dot-prefixed (see
+	// ValidMetaName), which keeps them disjoint from run names on every
+	// backend.
+	ReadMeta(name string) (io.ReadCloser, error)
+	// WriteMeta atomically persists a small metadata blob under name,
+	// overwriting any previous value. Implementations must not retain
+	// the slice. Sharded backends replicate meta to every child, like
+	// the spec.
+	WriteMeta(name string, data []byte) error
 	// Stat cheaply describes the backend for monitoring (no I/O heavier
 	// than constant-time bookkeeping).
 	Stat() Stats

@@ -14,11 +14,15 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
 	"repro/internal/store"
 )
 
@@ -163,6 +167,205 @@ func Run(t *testing.T, newBackend Factory) {
 		}
 	})
 
+	t.Run("MetaRoundTrip", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		// Missing meta is ErrNotExist, like a missing run.
+		if rc, err := b.ReadMeta(".probe"); !errors.Is(err, fs.ErrNotExist) {
+			if rc != nil {
+				rc.Close()
+			}
+			t.Fatalf("ReadMeta on empty backend = %v, want fs.ErrNotExist", err)
+		}
+		if err := b.WriteMeta(".probe", []byte("one\ntwo")); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadMeta(".probe") }); string(got) != "one\ntwo" {
+			t.Fatalf("ReadMeta = %q", got)
+		}
+		// WriteMeta overwrites, and the buffer is not retained.
+		doc := []byte("three")
+		if err := b.WriteMeta(".probe", doc); err != nil {
+			t.Fatal(err)
+		}
+		copy(doc, "XXXXX")
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadMeta(".probe") }); string(got) != "three" {
+			t.Fatalf("ReadMeta after overwrite = %q", got)
+		}
+		// Meta names must be dot-prefixed and never path specials: a
+		// run-shaped name (or "..", which would escape an fs root) is
+		// rejected, never silently stored where it could shadow a run.
+		for _, bad := range []string{"", ".", "..", "hot", "a/b", ".h t", "../x"} {
+			if err := b.WriteMeta(bad, []byte("x")); err == nil {
+				t.Fatalf("WriteMeta(%q) accepted an invalid meta name", bad)
+			}
+		}
+		// Metas never leak into run listings.
+		if err := b.WriteRun("r", []byte("d"), []byte("l")); err != nil {
+			t.Fatal(err)
+		}
+		names, err := b.ListRuns()
+		if err != nil || fmt.Sprint(names) != "[r]" {
+			t.Fatalf("ListRuns with meta present = %v, %v", names, err)
+		}
+	})
+
+	t.Run("WriteVisibilityOrdering", func(t *testing.T) {
+		// The labels-before-XML invariant: the moment a reader can see a
+		// run's document, its label snapshot must be readable too. The
+		// serving layer loads doc-then-labels on every cache miss, so a
+		// backend that exposed the document first would surface phantom
+		// 500s for runs that are about to be complete.
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		const readers = 4
+		start := make(chan struct{})
+		errs := make(chan error, readers)
+		var wg sync.WaitGroup
+		for g := 0; g < readers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for {
+					rc, err := b.ReadRun("v")
+					if errors.Is(err, fs.ErrNotExist) {
+						continue // not visible yet; poll
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					rc.Close()
+					// Document observed: labels must exist right now.
+					skl, err := readErr(b.ReadLabels("v"))
+					if err != nil || string(skl) != "skl-v" {
+						errs <- fmt.Errorf("run visible but labels = %q, %v", skl, err)
+						return
+					}
+					errs <- nil
+					return
+				}
+			}()
+		}
+		close(start)
+		if err := b.WriteRun("v", []byte("doc-v"), []byte("skl-v")); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	t.Run("StorePutRunConcurrentDistinct", func(t *testing.T) {
+		// The full write path — validation, labeling, snapshot encode,
+		// WriteRun — driven concurrently through store.Store for distinct
+		// names, with OpenRun readers interleaved. Under -race this is
+		// the backend's ingest-concurrency audit; it also checks
+		// overwrite of an existing name through the Store layer.
+		b := newBackend(t)
+		defer b.Close()
+		s := spec.PaperSpec()
+		st, err := store.New(b, s, "paper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.PutRun("seed", genRun(t, s, 1, 80), nil, label.TCM{}); err != nil {
+			t.Fatal(err)
+		}
+		const writers = 6
+		var wg sync.WaitGroup
+		errs := make(chan error, 2*writers)
+		fail := func(err error) {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+		for g := 0; g < writers; g++ {
+			g := g
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				if err := st.PutRun(fmt.Sprintf("w-%d", g), genRun(t, s, int64(g+2), 100), nil, label.TCM{}); err != nil {
+					fail(err)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					sess, err := st.OpenRun("seed", label.TCM{})
+					if err != nil {
+						fail(fmt.Errorf("OpenRun(seed) during writes: %w", err))
+						return
+					}
+					if sess.Run.NumVertices() == 0 {
+						fail(errors.New("seed session is empty"))
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		names, err := st.Runs()
+		if err != nil || len(names) != writers+1 {
+			t.Fatalf("Runs after concurrent PutRun = %v, %v", names, err)
+		}
+		// Overwrite through the Store: the new run replaces the old and
+		// sessions opened afterwards see the new graph.
+		bigger := genRun(t, s, 99, 200)
+		if err := st.PutRun("seed", bigger, nil, label.TCM{}); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := st.OpenRun("seed", label.TCM{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.Run.NumVertices() != bigger.NumVertices() {
+			t.Fatalf("after overwrite: session has %d vertices, want %d",
+				sess.Run.NumVertices(), bigger.NumVertices())
+		}
+		if n, err := st.Runs(); err != nil || len(n) != writers+1 {
+			t.Fatalf("Runs after overwrite = %v, %v", n, err)
+		}
+	})
+
+	t.Run("HotListRoundTrip", func(t *testing.T) {
+		// The warm-restart hot list rides the meta-blob API end to end
+		// through store.Store: saved MRU-first, read back in order, and
+		// absent on a store that never saved one.
+		b := newBackend(t)
+		defer b.Close()
+		st, err := store.New(b, spec.PaperSpec(), "paper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names, err := st.ReadHotList(); err != nil || len(names) != 0 {
+			t.Fatalf("ReadHotList on fresh store = %v, %v", names, err)
+		}
+		want := []string{"hot-1", "hot-2", "cold-9"}
+		if err := st.WriteHotList(want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.ReadHotList()
+		if err != nil || fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("ReadHotList = %v, %v; want %v", got, err, want)
+		}
+		if err := st.WriteHotList([]string{"../evil"}); err == nil {
+			t.Fatal("WriteHotList accepted an invalid run name")
+		}
+	})
+
 	t.Run("Stat", func(t *testing.T) {
 		b := newBackend(t)
 		defer b.Close()
@@ -296,6 +499,13 @@ func Run(t *testing.T, newBackend Factory) {
 			t.Fatalf("Close: %v", err)
 		}
 	})
+}
+
+// genRun generates a deterministic run of the spec for write-path tests.
+func genRun(t *testing.T, s *spec.Spec, seed int64, size int) *run.Run {
+	t.Helper()
+	r, _ := run.GenerateSized(s, rand.New(rand.NewSource(seed)), size)
+	return r
 }
 
 // mustInit writes a placeholder spec so run operations act on an

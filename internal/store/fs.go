@@ -77,6 +77,30 @@ func (b *fsBackend) WriteRun(name string, runDoc, labels []byte) error {
 	return writeFileAtomic(b.runPath(name, ".xml"), runDoc)
 }
 
+// Meta blobs live as dot-prefixed files in the store's root directory
+// (next to spec.xml), so they can never collide with run blobs under
+// runs/ and never appear in ListRuns.
+func (b *fsBackend) ReadMeta(name string) (io.ReadCloser, error) {
+	if err := ValidMetaName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(b.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}
+
+func (b *fsBackend) WriteMeta(name string, data []byte) error {
+	if err := ValidMetaName(name); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(b.dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(b.dir, name), data)
+}
+
 func (b *fsBackend) ListRuns() ([]string, error) {
 	entries, err := os.ReadDir(filepath.Join(b.dir, "runs"))
 	if err != nil {

@@ -18,6 +18,7 @@ type memBackend struct {
 	mu     sync.RWMutex
 	spec   []byte
 	runs   map[string]memRun
+	metas  map[string][]byte
 	closed bool
 }
 
@@ -27,7 +28,7 @@ type memRun struct {
 
 // NewMemBackend returns an empty in-memory backend.
 func NewMemBackend() Backend {
-	return &memBackend{runs: make(map[string]memRun)}
+	return &memBackend{runs: make(map[string]memRun), metas: make(map[string][]byte)}
 }
 
 func (b *memBackend) ReadSpec() (io.ReadCloser, error) {
@@ -86,6 +87,36 @@ func (b *memBackend) WriteRun(name string, runDoc, labels []byte) error {
 	return nil
 }
 
+// Meta blobs live in their own map: dot-prefixed names are invalid run
+// names, so metas and runs stay disjoint like the fs layout's root-dir
+// files versus runs/.
+func (b *memBackend) ReadMeta(name string) (io.ReadCloser, error) {
+	if err := ValidMetaName(name); err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.metas[name]
+	if !ok {
+		return nil, fmt.Errorf("store: mem meta %q: %w", name, fs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+func (b *memBackend) WriteMeta(name string, data []byte) error {
+	if err := ValidMetaName(name); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("store: mem backend is closed")
+	}
+	b.metas[name] = cp
+	return nil
+}
+
 func (b *memBackend) ListRuns() ([]string, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -109,5 +140,6 @@ func (b *memBackend) Close() error {
 	b.closed = true
 	b.spec = nil
 	b.runs = make(map[string]memRun)
+	b.metas = make(map[string][]byte)
 	return nil
 }

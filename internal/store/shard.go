@@ -69,6 +69,22 @@ func (b *shardBackend) WriteRun(name string, runDoc, labels []byte) error {
 	return b.child(name).WriteRun(name, runDoc, labels)
 }
 
+// Meta blobs are store-wide (not keyed by run name), so they replicate
+// to every child like the spec and read from the first — the same rule
+// that keeps each shard independently openable.
+func (b *shardBackend) ReadMeta(name string) (io.ReadCloser, error) {
+	return b.children[0].ReadMeta(name)
+}
+
+func (b *shardBackend) WriteMeta(name string, data []byte) error {
+	for i, c := range b.children {
+		if err := c.WriteMeta(name, data); err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 func (b *shardBackend) ListRuns() ([]string, error) {
 	var out []string
 	for i, c := range b.children {

@@ -39,8 +39,11 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -173,10 +176,49 @@ func (st *Store) skeleton(scheme label.Scheme) (label.Labeling, error) {
 }
 
 // PutRun labels the run (with the given scheme) and persists graph, data
-// items and label snapshot under the given run name.
+// items and label snapshot under the given run name. Putting an existing
+// name overwrites the stored run, but overwrite is not atomic across
+// the document/labels pair: concurrent PutRun or OpenRun calls for the
+// *same* name race and must be serialized by the caller — the serving
+// layer's ingest endpoint holds a per-run-name reader/writer lock
+// across its writes and loads for exactly this reason. Distinct names
+// never interfere.
 func (st *Store) PutRun(name string, r *run.Run, ann *provdata.Annotation, scheme label.Scheme) error {
+	_, _, _, err := st.putRun(name, r, ann, scheme)
+	return err
+}
+
+// PutRunSession is PutRun plus a ready-to-query Session assembled from
+// the same in-memory labeling — the ingest path's fast lane: the caller
+// gets exactly what OpenRun would return without re-reading and
+// re-decoding the blobs that were just written (the differential tests
+// pin that a fresh labeling and a snapshot rebound to the skeleton
+// answer identically).
+func (st *Store) PutRunSession(name string, r *run.Run, ann *provdata.Annotation, scheme label.Scheme) (*Session, error) {
+	stored, l, snapBytes, err := st.putRun(name, r, ann, scheme)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		Run: stored, Data: ann, Labels: l,
+		SnapshotVersion: core.SnapshotV2, SnapshotBytes: snapBytes,
+	}
+	if ann != nil {
+		dv, err := provdata.LabelData(ann, l)
+		if err != nil {
+			return nil, err
+		}
+		sess.DataView = dv
+	}
+	return sess, nil
+}
+
+// putRun is the shared write path: validate, label, encode, persist.
+// It returns the (possibly spec-normalized) run, its labeling, and the
+// stored snapshot's size.
+func (st *Store) putRun(name string, r *run.Run, ann *provdata.Annotation, scheme label.Scheme) (*run.Run, *core.Labeling, int, error) {
 	if err := ValidRunName(name); err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	if r.Spec != st.spec {
 		// Allow structurally equal specs (e.g. reopened stores) as long
@@ -184,25 +226,28 @@ func (st *Store) PutRun(name string, r *run.Run, ann *provdata.Annotation, schem
 		r = &run.Run{Spec: st.spec, Graph: r.Graph, Origin: r.Origin}
 	}
 	if err := r.Validate(); err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	skel, err := st.skeleton(scheme)
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	l, err := core.LabelRun(r, skel)
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	var runDoc bytes.Buffer
 	if err := xmlio.EncodeRun(&runDoc, r, ann, st.specName); err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 	var labels bytes.Buffer
 	if _, err := l.WriteTo(&labels); err != nil {
-		return err
+		return nil, nil, 0, err
 	}
-	return st.backend.WriteRun(name, runDoc.Bytes(), labels.Bytes())
+	if err := st.backend.WriteRun(name, runDoc.Bytes(), labels.Bytes()); err != nil {
+		return nil, nil, 0, err
+	}
+	return r, l, labels.Len(), nil
 }
 
 // Runs lists the stored run names, sorted.
@@ -277,6 +322,76 @@ func (st *Store) OpenRun(name string, scheme label.Scheme) (*Session, error) {
 		sess.DataView = dv
 	}
 	return sess, nil
+}
+
+// HotListMeta is the meta blob holding the serving layer's hot-session
+// list: the run names that were resident in the query server's session
+// cache when it shut down, one per line, most recently used first. A
+// warm restart preloads these before accepting traffic.
+const HotListMeta = ".hot"
+
+// WriteHotList persists the hot-session list (run names, most recently
+// used first) so a restarted server can preload them. Invalid names are
+// rejected up front; an empty list is stored as an empty blob.
+func (st *Store) WriteHotList(names []string) error {
+	for _, n := range names {
+		if err := ValidRunName(n); err != nil {
+			return err
+		}
+	}
+	return st.backend.WriteMeta(HotListMeta, []byte(strings.Join(names, "\n")))
+}
+
+// ReadHotList returns the stored hot-session list, most recently used
+// first. A store that never saved one returns an empty list, not an
+// error. Names that are no longer valid are dropped rather than
+// surfaced: the list is advisory (a stale entry just means one cold
+// load), never a reason to refuse startup.
+func (st *Store) ReadHotList() ([]string, error) {
+	rc, err := st.backend.ReadMeta(HotListMeta)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line == "" {
+			continue
+		}
+		if ValidRunName(line) == nil {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}
+
+// ValidMetaName reports whether name is usable as a backend meta blob
+// name: a leading dot followed by one or more characters from
+// [A-Za-z0-9._-], except ".." — with separators banned that is the one
+// remaining path special, and the fs backend joins meta names onto its
+// root directory. The mandatory dot prefix is exactly what ValidRunName
+// forbids, so meta names and run names can never collide on any backend.
+func ValidMetaName(name string) error {
+	if len(name) < 2 || name[0] != '.' || name == ".." {
+		return fmt.Errorf("store: invalid meta name %q", name)
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("store: invalid meta name %q", name)
+		}
+	}
+	return nil
 }
 
 // ValidRunName reports whether name is usable as a stored run name:

@@ -1,8 +1,10 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"strings"
 )
 
@@ -97,7 +99,17 @@ func Copy(dst, src Backend) error {
 			return err
 		}
 	}
-	return nil
+	// The hot-session list rides along so a preloaded copy (mem://dir)
+	// can warm-start the serving layer; a store that never saved one
+	// simply has nothing to copy.
+	hot, err := readAll(src.ReadMeta(HotListMeta))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	return dst.WriteMeta(HotListMeta, hot)
 }
 
 func readAll(rc io.ReadCloser, err error) ([]byte, error) {

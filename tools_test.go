@@ -256,6 +256,47 @@ func getJSON(t *testing.T, url string, out any) {
 	}
 }
 
+// TestToolQueryPut exercises provquery's -put mode end to end: PUT a
+// generated run XML to a live ingest-enabled provserve, then smoke-test
+// the ingested run with a /reachable query over the wire.
+func TestToolQueryPut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	s := repro.PaperSpec()
+	seedDir := filepath.Join(dir, "seed")
+	if _, err := repro.CreateStore(seedDir, s, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	runPath := filepath.Join(dir, "r.xml")
+	r, _ := repro.GenerateRun(s, rand.New(rand.NewSource(6)), 150)
+	var doc bytes.Buffer
+	if err := repro.WriteRunXML(&doc, r, nil, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(runPath, doc.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildProvserve(t, dir)
+	p := startProvserve(t, bin, "-store", "mem://"+seedDir, "-ingest")
+	out := runTool(t, "provquery", "-put", p.base, "-run", runPath, "-as", "r9", "-from", "a1", "-to", "h1")
+	for _, want := range []string{"stored r9", "SKL2 snapshot", "a1 -> h1: reachable"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("provquery -put output missing %q:\n%s", want, out)
+		}
+	}
+	out = runToolExpectError(t, "provquery", "-put", p.base, "-run", runPath, "-as", "..bad")
+	if !strings.Contains(out, "invalid run name") {
+		t.Fatalf("provquery -put invalid name error unexpected:\n%s", out)
+	}
+	out = runToolExpectError(t, "provquery", "-put", p.base)
+	if !strings.Contains(out, "-run") {
+		t.Fatalf("provquery -put without -run error unexpected:\n%s", out)
+	}
+}
+
 // TestToolQueryStore exercises provquery's -store mode: queries answered
 // from a store's persisted snapshot labels, across fs and mem store URLs.
 func TestToolQueryStore(t *testing.T) {
