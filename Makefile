@@ -24,18 +24,18 @@ bench:
 bench-store:
 	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkServerBatchReachable' -benchtime=3x ./internal/store/ .
 
-# Serving-path benchmarks (snapshot codecs, /batch, and the PR-4 ingest
-# write path), rendered to BENCH_4.json with the pre-PR4 baseline
-# embedded, so the perf trajectory is tracked as a CI artifact.
-# BenchmarkServerIngest is new in PR 4 and therefore absent from the
-# baseline. Each go test runs as its own command so a failing bench
-# fails the target instead of emitting a silently incomplete
-# BENCH_4.json.
+# Serving-path benchmarks (snapshot codecs, /batch, the PR-4 ingest
+# write path, and the PR-5 delete path), rendered to BENCH_5.json with
+# the pre-PR5 baseline embedded, so the perf trajectory is tracked as a
+# CI artifact. BenchmarkServerDelete is new in PR 5 and therefore absent
+# from the baseline. Each go test runs as its own command so a failing
+# bench fails the target instead of emitting a silently incomplete
+# BENCH_5.json.
 bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSnapshotDecode|BenchmarkSnapshotEncode' -benchtime=100x -count=3 ./internal/core/ > bench-json.out
 	$(GO) test -run='^$$' -bench='BenchmarkServerBatchReachable' -benchtime=50x -count=3 . >> bench-json.out
-	$(GO) test -run='^$$' -bench='BenchmarkServerIngest' -benchtime=20x -count=3 . >> bench-json.out
-	$(GO) run ./cmd/benchjson -baseline bench/BASELINE_4.json -o BENCH_4.json < bench-json.out
+	$(GO) test -run='^$$' -bench='BenchmarkServerIngest|BenchmarkServerDelete' -benchtime=20x -count=3 . >> bench-json.out
+	$(GO) run ./cmd/benchjson -baseline bench/BASELINE_5.json -o BENCH_5.json < bench-json.out
 	@rm -f bench-json.out
 
 fmt:

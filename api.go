@@ -91,9 +91,11 @@ type (
 	StoreStats = store.Stats
 	// QueryServer is a concurrent HTTP provenance query service over a
 	// Store, with an LRU session cache, a batched query endpoint, an
-	// optional ingest endpoint (PUT /runs/{name}), admission control
-	// (bounded concurrency + per-client rate limits), and warm-restart
-	// support (SaveHotList/WarmFromHotList).
+	// optional write path (PUT and DELETE /runs/{name}, with
+	// count-bounded retention via ServerConfig.MaxRuns /
+	// Server.EnforceMaxRuns), admission control (bounded concurrency +
+	// per-client rate limits), and warm-restart support
+	// (SaveHotList/WarmFromHotList).
 	QueryServer = server.Server
 	// ServerConfig configures a QueryServer.
 	ServerConfig = server.Config

@@ -307,6 +307,50 @@ func BenchmarkServerIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkServerDelete measures the run-retirement path end to end —
+// per-name write-lock acquisition, backend blob deletion, and session
+// invalidation with the generation fence — as DELETE /runs of a
+// cache-resident run over the in-memory backend. Each iteration re-PUTs
+// and re-queries the run off the clock, so the measured op is the pure
+// delete-side cost retention sweeps pay per evicted run.
+func BenchmarkServerDelete(b *testing.B) {
+	r := benchRun(b, 1000)
+	st, err := repro.NewMemStore(r.Spec, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Store: st, EnableIngest: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := repro.WriteRunXML(&doc, r, nil, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	body := doc.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("PUT", "/runs/r1", bytes.NewReader(body)))
+		if rec.Code != 200 {
+			b.Fatalf("PUT: status %d: %s", rec.Code, rec.Body.String())
+		}
+		rec = httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/runs?run=r1", nil))
+		if rec.Code != 200 {
+			b.Fatalf("warm GET: status %d", rec.Code)
+		}
+		b.StartTimer()
+		rec = httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("DELETE", "/runs/r1", nil))
+		if rec.Code != 200 {
+			b.Fatalf("DELETE: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
 // BenchmarkServerBatchReachable measures the query server's batched
 // reachability path end to end — JSON decode, cache-hit session lookup,
 // the constant-time Reachable per pair, JSON encode — as the serving

@@ -25,6 +25,13 @@
 //
 //	provquery -put http://localhost:8080 -run r.xml -as r2 -from b1 -to c3
 //
+// With -delete, provquery is the deletion smoke-test client: it sends
+// DELETE /runs/{name} for the stored run named by -run to a running
+// provserve (started with -ingest) and confirms the run is gone — the
+// command-line face of the server's run-retirement path:
+//
+//	provquery -delete http://localhost:8080 -run r2
+//
 // Vertices are addressed by occurrence name (module name plus occurrence
 // index, e.g. "b2" for the second execution of module b), data items by
 // their item name from the run XML.
@@ -60,6 +67,7 @@ func main() {
 		interactive = flag.Bool("i", false, "read queries from stdin: lines of \"<from> <to>\"")
 		putURL      = flag.String("put", "", "provserve base URL: PUT the run XML at -run to the server (ingest smoke test)")
 		putAs       = flag.String("as", "", "stored run name for -put (default: the run file's base name)")
+		deleteURL   = flag.String("delete", "", "provserve base URL: DELETE the stored run named by -run from the server")
 	)
 	flag.Parse()
 	if *putURL != "" {
@@ -67,6 +75,13 @@ func main() {
 			fatalf("-put needs -run <run XML file>")
 		}
 		putRun(*putURL, *runPath, *putAs, *from, *to)
+		return
+	}
+	if *deleteURL != "" {
+		if *runPath == "" {
+			fatalf("-delete needs -run <stored run name>")
+		}
+		deleteRun(*deleteURL, *runPath)
 		return
 	}
 	if *storeURL == "" && (*specPath == "" || *runPath == "") {
@@ -290,6 +305,34 @@ func putRun(baseURL, path, name, from, to string) {
 	} else {
 		fmt.Printf("%s -> %s: NOT reachable\n", from, to)
 	}
+}
+
+// deleteRun sends DELETE /runs/{name} to a provserve and reports the
+// outcome, exiting nonzero when the server refuses (read-only server,
+// unknown run) so scripts can rely on the status.
+func deleteRun(baseURL, name string) {
+	base := strings.TrimSuffix(baseURL, "/")
+	req, err := http.NewRequest(http.MethodDelete, base+"/runs/"+url.PathEscape(name), nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	var del struct {
+		Run     string `json:"run"`
+		Deleted bool   `json:"deleted"`
+		Error   string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&del); err != nil {
+		fatalf("DELETE %s: status %d, unreadable body: %v", name, resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK || !del.Deleted {
+		fatalf("DELETE %s: status %d: %s", name, resp.StatusCode, del.Error)
+	}
+	fmt.Printf("deleted %s\n", del.Run)
 }
 
 func findVertex(r *repro.Run, name string) (repro.VertexID, error) {

@@ -12,8 +12,12 @@
 //	provserve -store 'shard://diskA/p,diskB/p'    one store sharded
 //	                                              across directories
 //	provserve -store ./provstore -addr :9090 -scheme BFS -cache 64
-//	provserve -store ./provstore -ingest -warm    accept PUT /runs and
-//	                                              warm-restart the cache
+//	provserve -store ./provstore -ingest -warm    accept PUT/DELETE /runs
+//	                                              and warm-restart the cache
+//	provserve -store ./provstore -ingest -max-runs 1000
+//	                                              retention: keep at most
+//	                                              1000 runs, evicting
+//	                                              least-recently-used
 //
 // Endpoints (see internal/server):
 //
@@ -21,6 +25,7 @@
 //	curl localhost:8080/specs
 //	curl localhost:8080/runs
 //	curl -X PUT --data-binary @run.xml localhost:8080/runs/r2
+//	curl -X DELETE localhost:8080/runs/r2
 //	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
 //	curl -d '{"run":"r1","pairs":[["b1","c3"],[12,34]]}' localhost:8080/batch
 //	curl 'localhost:8080/lineage?run=r1&vertex=h1&dir=up'
@@ -62,8 +67,9 @@ func main() {
 		cache       = flag.Int("cache", 16, "maximum cached run sessions (LRU)")
 		maxBatch    = flag.Int("max-batch", 8192, "maximum pairs per /batch request")
 		batchPar    = flag.Int("batch-parallelism", 0, "CPUs fanning out one large /batch request (0 = all)")
-		ingest      = flag.Bool("ingest", false, "accept PUT /runs/{name} run documents (the write path)")
+		ingest      = flag.Bool("ingest", false, "accept PUT /runs/{name} run documents and DELETE /runs/{name} (the write path)")
 		maxIngest   = flag.Int64("max-ingest-bytes", 16<<20, "maximum ingest request body size")
+		maxRuns     = flag.Int("max-runs", 0, "retention bound: after each ingest, delete least-recently-used runs beyond this count (0 = unlimited; needs -ingest)")
 		maxInflight = flag.Int("max-inflight", 64, "maximum concurrently executing requests")
 		queueDepth  = flag.Int("queue-depth", 0, "requests allowed to wait for a slot before 429 (0 = 2*max-inflight)")
 		rate        = flag.Float64("rate", 0, "per-client rate limit in requests/second (0 = unlimited)")
@@ -92,10 +98,12 @@ func main() {
 		BatchParallelism: *batchPar,
 		EnableIngest:     *ingest,
 		MaxIngestBytes:   *maxIngest,
+		MaxRuns:          *maxRuns,
 		MaxInflight:      *maxInflight,
 		QueueDepth:       *queueDepth,
 		RatePerClient:    *rate,
 		RateBurst:        *burst,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("provserve: %v", err)

@@ -69,6 +69,49 @@
 // the same store name from outside the server are the deployment's to
 // serialize, per the StoreBackend contract.)
 //
+// # Run lifecycle: create, overwrite, delete, retention
+//
+// With deletion the Backend interface covers the full CRUD cycle, and
+// each edge carries an ordering guarantee:
+//
+//   - Create/overwrite (Store.PutRun, PUT /runs/{name}): the label
+//     snapshot becomes readable no later than the run document
+//     (labels-before-document), so a reader that can see a run can
+//     always read its labels. On disk the .skl is durably renamed into
+//     place before the .xml.
+//   - Delete (Store.DeleteRun, DELETE /runs/{name}): the mirror — the
+//     document becomes unreadable no earlier than the labels
+//     (document-before-labels removal), so a still-visible run never
+//     loses its snapshot mid-delete. On disk the .xml is durably
+//     removed before the .skl.
+//   - Crash debris: either ordering can strand an orphaned .skl with no
+//     sibling .xml; the fs backend sweeps those on store open, on the
+//     first run listing (which on a shard set reaches every child), and
+//     on delete (throttled to once per second, so bulk retention sweeps
+//     stay linear), so they never accumulate.
+//   - Cache coherence: DELETE holds the same per-name write lock as
+//     PUT across the backend delete and the session-cache invalidation,
+//     and the cache fences in-flight loads by generation — a load that
+//     overlapped a delete or overwrite can hand its (stale) session to
+//     the requests that were already waiting on it, but can never land
+//     it in the cache. The very next query after a DELETE answers 404.
+//   - Deleting is gated with ingest (EnableIngest / -ingest): a
+//     read-only server answers 403; a missing run answers 404.
+//
+// Retention builds on deletion: `provserve -ingest -max-runs N` (or
+// ServerConfig.MaxRuns / Server.EnforceMaxRuns in-process) sweeps after
+// every ingest, deleting least-valuable runs until at most N remain —
+// cold (never-queried) runs go first, then cached sessions in LRU
+// order, and the just-ingested run is never its own victim. A
+// long-lived ingesting server therefore holds a bounded working set
+// instead of accumulating runs forever. `provquery -delete <base-url>
+// -run <name>` is the command-line client for one-off deletion. The
+// warm-restart hot list participates too: Store.WriteHotList prunes
+// names the store no longer holds, and a stale .hot entry (deleted
+// behind the store's back) costs a logged skip at warm preload, never a
+// failed startup. store.Copy skips runs deleted mid-copy, so retention
+// can run against a store that is concurrently being replicated.
+//
 // # Admission control
 //
 // Every endpoint but /healthz sits behind an admission layer: at most

@@ -151,6 +151,39 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nGET %s\n%s", url, answer)
+
+	// The lifecycle's exit path: DELETE retires a stored run — blobs,
+	// labels and cached session together — and the very next query for
+	// it answers 404. In production this is how retention runs against a
+	// live server: one-off with `provquery -delete <url> -run <name>`,
+	// or automatically with `provserve -ingest -max-runs N`, which
+	// deletes least-recently-used runs after each ingest so a long-lived
+	// server holds a bounded working set.
+	delURL := fmt.Sprintf("http://%s/runs/r2000", ln.Addr())
+	req, err = http.NewRequest(http.MethodDelete, delURL, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gone, err := io.ReadAll(delResp.Body)
+	delResp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDELETE %s\n%s", delURL, gone)
+	resp, err = http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answer, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET %s (after delete)\nstatus %d: %s", url, resp.StatusCode, answer)
 }
 
 func mustVertex(r *repro.Run, name string) repro.VertexID {

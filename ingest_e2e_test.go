@@ -253,6 +253,174 @@ func TestIngestEndToEnd(t *testing.T) {
 	}
 }
 
+// deleteRunReq issues DELETE /runs/{name} against a live provserve.
+func deleteRunReq(t *testing.T, base, name string) (status int, body map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/runs/"+name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body = map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("DELETE %s: status %d, unreadable body: %v", name, resp.StatusCode, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDeleteEndToEnd is the over-the-wire run-lifecycle differential
+// test: PUT -> query -> DELETE -> 404 -> re-PUT -> query, with the
+// queries after the round trip matching the in-process core engine on
+// the replacement run — the full CRUD cycle of one name across the HTTP
+// boundary.
+func TestDeleteEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	s := repro.PaperSpec()
+	if _, err := repro.CreateStore(filepath.Join(dir, "seed"), s, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	bin := buildProvserve(t, dir)
+	p := startProvserve(t, bin, "-store", "mem://"+filepath.Join(dir, "seed"), "-ingest")
+
+	rng := rand.New(rand.NewSource(55))
+	r1, _ := repro.GenerateRun(s, rng, 180)
+	var doc bytes.Buffer
+	if err := repro.WriteRunXML(&doc, r1, nil, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	if status, body := putRunDoc(t, p.base, "cycle", doc.String()); status != 200 {
+		t.Fatalf("PUT: %d %v", status, body)
+	}
+	var reach struct {
+		Reachable bool `json:"reachable"`
+	}
+	getJSON(t, p.base+"/reachable?run=cycle&from=0&to=1", &reach) // run serves (and is now hot)
+
+	// DELETE on a read path: deleting is refused without -ingest; that
+	// variant is covered in-process. Here the ingest server deletes.
+	status, body := deleteRunReq(t, p.base, "cycle")
+	if status != 200 || body["deleted"] != true {
+		t.Fatalf("DELETE: %d %v", status, body)
+	}
+	// Gone on every surface, and a second DELETE is 404.
+	resp, err := http.Get(p.base + "/reachable?run=cycle&from=0&to=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("query after delete = %d, want 404", resp.StatusCode)
+	}
+	if status, _ := deleteRunReq(t, p.base, "cycle"); status != 404 {
+		t.Fatalf("second DELETE = %d, want 404", status)
+	}
+	var runs struct {
+		Runs []string `json:"runs"`
+	}
+	getJSON(t, p.base+"/runs", &runs)
+	if len(runs.Runs) != 0 {
+		t.Fatalf("/runs after delete = %v", runs.Runs)
+	}
+
+	// Re-PUT under the same name: the replacement must answer exactly
+	// like the in-process engine labeling the same run.
+	r2, _ := repro.GenerateRun(s, rng, 120)
+	doc.Reset()
+	if err := repro.WriteRunXML(&doc, r2, nil, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := putRunDoc(t, p.base, "cycle", doc.String()); status != 200 {
+		t.Fatalf("re-PUT: %d", status)
+	}
+	l, err := repro.LabelRun(r2, repro.TCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r2.NumVertices()
+	for q := 0; q < 40; q++ {
+		u, v := repro.VertexID(rng.Intn(n)), repro.VertexID(rng.Intn(n))
+		getJSON(t, fmt.Sprintf("%s/reachable?run=cycle&from=%d&to=%d", p.base, u, v), &reach)
+		if want := l.Reachable(u, v); reach.Reachable != want {
+			t.Fatalf("after delete+re-PUT, (%d,%d) = %v, in-process engine says %v", u, v, reach.Reachable, want)
+		}
+	}
+}
+
+// TestDeleteWarmRestartEndToEnd is the satellite regression with the
+// real binary: make two runs hot, delete one, SIGTERM (saves the hot
+// list), restart -warm — the restart must preload the surviving run and
+// serve it warm, and the deleted run must answer 404, with nothing
+// wedged by the .hot entry that named it.
+func TestDeleteWarmRestartEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	if _, err := repro.CreateStore(storeDir, repro.PaperSpec(), "paper"); err != nil {
+		t.Fatal(err)
+	}
+	bin := buildProvserve(t, dir)
+	p := startProvserve(t, bin, "-store", storeDir, "-ingest", "-warm")
+
+	rng := rand.New(rand.NewSource(66))
+	for _, name := range []string{"keeper", "victim"} {
+		r, _ := repro.GenerateRun(repro.PaperSpec(), rng, 120)
+		var doc bytes.Buffer
+		if err := repro.WriteRunXML(&doc, r, nil, "paper"); err != nil {
+			t.Fatal(err)
+		}
+		if status, _ := putRunDoc(t, p.base, name, doc.String()); status != 200 {
+			t.Fatalf("ingest %s failed", name)
+		}
+		var reach struct {
+			Reachable bool `json:"reachable"`
+		}
+		getJSON(t, p.base+"/reachable?run="+name+"&from=0&to=1", &reach) // hot now
+	}
+	if status, _ := deleteRunReq(t, p.base, "victim"); status != 200 {
+		t.Fatal("delete failed")
+	}
+	p.shutdown(t)
+
+	p2 := startProvserve(t, bin, "-store", storeDir, "-warm")
+	type health struct {
+		Cache struct {
+			Cached int   `json:"cached"`
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	var h health
+	getJSON(t, p2.base+"/healthz", &h)
+	if h.Cache.Cached != 1 {
+		t.Fatalf("cache after warm restart = %+v, want exactly the surviving session\nlog: %s", h.Cache, p2.log.String())
+	}
+	var reach struct {
+		Reachable bool `json:"reachable"`
+	}
+	getJSON(t, p2.base+"/reachable?run=keeper&from=0&to=1", &reach)
+	getJSON(t, p2.base+"/healthz", &h)
+	if h.Cache.Hits < 1 {
+		t.Fatalf("surviving run's first query was a cold load: %+v", h.Cache)
+	}
+	resp, err := http.Get(p2.base + "/reachable?run=victim&from=0&to=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("deleted run after warm restart = %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestIngestRateLimit429 checks the admission layer over a real
 // connection: a client that bursts past its rate answers 429 with a
 // Retry-After the client can actually honor.

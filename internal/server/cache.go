@@ -20,10 +20,23 @@ type sessionCache struct {
 	entries map[string]*list.Element // run name -> element holding *cacheEntry
 	order   *list.List               // front = most recently used
 
+	// gens fences in-flight loads against invalidation: every Invalidate
+	// or Put bumps the generation for the name (striped by hash — a
+	// collision only costs a spurious re-load, never staleness), and a
+	// load that started under an older generation must not land in the
+	// cache when it completes. Entry registration before the load plus
+	// Invalidate's detach already make resurrection impossible today;
+	// the generation check turns that emergent property into a checked
+	// invariant (counted in Stats().Fenced), so the write path's
+	// delete/overwrite coherence no longer depends on the exact order of
+	// map surgery in this file.
+	gens [256]uint64
+
 	hits          atomic.Int64
 	misses        atomic.Int64
 	evictions     atomic.Int64
 	invalidations atomic.Int64
+	fenced        atomic.Int64
 }
 
 // cacheEntry is one cached (or in-flight) session load. ready is closed
@@ -31,9 +44,16 @@ type sessionCache struct {
 // lock, so a slow disk load never serializes hits on other runs.
 type cacheEntry struct {
 	name  string
+	gen   uint64 // generation observed when the load was registered
 	ready chan struct{}
 	sess  *session
 	err   error
+}
+
+// genIndex stripes names over the generation table with the package's
+// shared FNV-1a (see fnv32a in ingest.go).
+func genIndex(name string) int {
+	return int(fnv32a(name) % 256)
 }
 
 func newSessionCache(max int, load func(string) (*session, error)) *sessionCache {
@@ -62,7 +82,7 @@ func (c *sessionCache) Get(name string) (*session, error) {
 		return e.sess, e.err
 	}
 	c.misses.Add(1)
-	e := &cacheEntry{name: name, ready: make(chan struct{})}
+	e := &cacheEntry{name: name, gen: c.gens[genIndex(name)], ready: make(chan struct{})}
 	el := c.order.PushFront(e)
 	c.entries[name] = el
 	c.mu.Unlock()
@@ -77,13 +97,25 @@ func (c *sessionCache) Get(name string) (*session, error) {
 	// The cache may transiently exceed max by the number of in-flight
 	// loads; max >= 1 keeps a just-loaded entry at the front safe.
 	c.mu.Lock()
-	if err != nil {
+	switch {
+	case c.gens[genIndex(name)] != e.gen:
+		// The name was invalidated (or replaced by Put) while this load
+		// was in flight: whatever it read predates that write or delete
+		// and must not stay cached. Waiters still get this result — their
+		// requests overlapped the invalidating operation — but the entry
+		// is dropped so the next Get reloads current state.
+		if cur, ok := c.entries[name]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, name)
+		}
+		c.fenced.Add(1)
+	case err != nil:
 		// Drop the failed entry unless it was already evicted or replaced.
 		if cur, ok := c.entries[name]; ok && cur == el {
 			c.order.Remove(el)
 			delete(c.entries, name)
 		}
-	} else {
+	default:
 		c.evictOverCapacityLocked()
 	}
 	c.mu.Unlock()
@@ -102,14 +134,18 @@ func (c *sessionCache) evictOverCapacityLocked() {
 }
 
 // Invalidate drops the named entry so the next Get reloads from the
-// backend. It is the write path's cache-coherence hook: after an ingest
-// overwrites a stored run, the stale session must not keep answering.
-// An in-flight load for the name is detached rather than interrupted —
-// its waiters still receive the (pre-write) session they asked for, but
-// the result is no longer cached. Reports whether an entry was dropped.
+// backend, and bumps the name's generation so a load already in flight
+// cannot land its (stale) result in the cache when it completes. It is
+// the write path's cache-coherence hook: after an ingest overwrites a
+// stored run — or a delete removes it — the stale session must not keep
+// answering. An in-flight load for the name is detached and fenced
+// rather than interrupted — its waiters still receive the session they
+// asked for (their requests overlapped the write), but the result is
+// never cached. Reports whether an entry was dropped.
 func (c *sessionCache) Invalidate(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gens[genIndex(name)]++
 	el, ok := c.entries[name]
 	if !ok {
 		return false
@@ -124,11 +160,16 @@ func (c *sessionCache) Invalidate(name string) bool {
 // replacing any entry (cached or in-flight) for the name. It is the
 // ingest path's refresh: the session was just built from the labeling
 // in hand, so going back to the backend for it would be pure waste.
+// Like Invalidate, it bumps the generation: a load that was in flight
+// across the Put is older than the session just installed and must not
+// replace it.
 func (c *sessionCache) Put(name string, sess *session) {
 	e := &cacheEntry{name: name, ready: make(chan struct{}), sess: sess}
 	close(e.ready)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gens[genIndex(name)]++
+	e.gen = c.gens[genIndex(name)]
 	if el, ok := c.entries[name]; ok {
 		c.order.Remove(el)
 	}
@@ -163,6 +204,11 @@ type CacheStats struct {
 	Misses        int64 `json:"misses"`
 	Evictions     int64 `json:"evictions"`
 	Invalidations int64 `json:"invalidations"`
+	// Fenced counts loads whose result was discarded because the name
+	// was invalidated (overwritten or deleted) while the load was in
+	// flight — each one is a stale session the generation fence kept out
+	// of the cache.
+	Fenced int64 `json:"fenced"`
 }
 
 func (c *sessionCache) Stats() CacheStats {
@@ -172,5 +218,6 @@ func (c *sessionCache) Stats() CacheStats {
 		Misses:        c.misses.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Fenced:        c.fenced.Load(),
 	}
 }

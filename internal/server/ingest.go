@@ -40,15 +40,22 @@ type runLocks struct {
 	mu [64]sync.RWMutex
 }
 
-// forName picks the stripe with an inlined FNV-1a (the same keying as
-// the shard backend's router) — hash/fnv would heap-allocate its state
-// and copy the name on every load and every PUT.
-func (l *runLocks) forName(name string) *sync.RWMutex {
+// fnv32a is the package's one inlined FNV-1a over a run name (the same
+// keying as the shard backend's router) — hash/fnv would heap-allocate
+// its state and copy the name on every load and every PUT. Both stripe
+// consumers (runLocks, the session cache's generation table) derive
+// their index from this single implementation.
+func fnv32a(name string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(name); i++ {
 		h = (h ^ uint32(name[i])) * 16777619
 	}
-	return &l.mu[h%uint32(len(l.mu))]
+	return h
+}
+
+// forName picks the run's lock stripe.
+func (l *runLocks) forName(name string) *sync.RWMutex {
+	return &l.mu[fnv32a(name)%uint32(len(l.mu))]
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -62,6 +69,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Shield this name from retention sweeps for the whole handler: a
+	// sweep triggered by a concurrent PUT must not delete a run whose
+	// 200 is still on its way to the client.
+	s.ingestingMu.Lock()
+	s.ingesting[name]++
+	s.ingestingMu.Unlock()
+	defer func() {
+		s.ingestingMu.Lock()
+		if s.ingesting[name]--; s.ingesting[name] <= 0 {
+			delete(s.ingesting, name)
+		}
+		s.ingestingMu.Unlock()
+	}()
 	// The decoder must never trust Content-Length or read an unbounded
 	// hostile body: MaxBytesReader caps what xml parsing can consume.
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
@@ -97,6 +117,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// or backend I/O) — the client's request was well-formed.
 		writeErr(w, http.StatusInternalServerError, "storing run %q: %v", name, err)
 		return
+	}
+	if s.maxRuns > 0 {
+		// Retention rides the write path: every PUT that may have grown
+		// the store sweeps it back under the bound. The just-ingested run
+		// is protected — a PUT must never delete its own run, even when
+		// nobody has queried it yet.
+		if _, err := s.EnforceMaxRuns(s.maxRuns, name); err != nil {
+			s.logf("server: retention sweep after PUT %q: %v", name, err)
+		}
 	}
 	items := 0
 	if sess.Data != nil {

@@ -18,6 +18,9 @@
 //	                           items inline); the run is labeled, persisted
 //	                           via store.PutRun, and immediately queryable
 //	                           (requires Config.EnableIngest)
+//	DELETE /runs/{name}        remove a stored run and its label snapshot;
+//	                           the very next query for it answers 404
+//	                           (requires Config.EnableIngest)
 //	GET  /reachable?run=R&from=U&to=V
 //	                           one reachability query
 //	POST /batch                {"run":R,"pairs":[[U,V],...]} -> {"results":[...]}
@@ -59,6 +62,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/dag"
@@ -88,11 +92,22 @@ type Config struct {
 	// sequential evaluation.
 	BatchParallelism int
 	// EnableIngest turns on the write path: PUT /runs/{name} labels and
-	// persists posted run documents. Off by default so a server over a
-	// shared or read-only store cannot be written through.
+	// persists posted run documents, and DELETE /runs/{name} removes
+	// stored runs. Off by default so a server over a shared or read-only
+	// store cannot be written through.
 	EnableIngest bool
 	// MaxIngestBytes bounds one ingest request body. Defaults to 16 MiB.
 	MaxIngestBytes int64
+	// MaxRuns, when positive, bounds how many runs the store may hold:
+	// after each successful ingest the retention sweep deletes
+	// least-valuable runs (cold before cached, cached in LRU order —
+	// see EnforceMaxRuns) until the bound holds again. 0 disables
+	// retention. Requires EnableIngest (the sweep rides the write path).
+	MaxRuns int
+	// Logf, when set, receives operational log lines (warm-preload
+	// skips, deletions, retention sweeps) printf-style. Nil discards
+	// them; cmd/provserve passes log.Printf.
+	Logf func(format string, args ...any)
 	// MaxInflight bounds how many requests execute concurrently across
 	// all endpoints but /healthz; excess requests wait in a bounded
 	// queue. Defaults to 64.
@@ -121,9 +136,19 @@ type Server struct {
 	batchPar       int
 	ingest         bool
 	maxIngestBytes int64
+	maxRuns        int
+	logf           func(format string, args ...any)
 	runMu          runLocks
 	adm            *admission
 	mux            *http.ServeMux
+
+	// ingesting refcounts run names with a PUT handler in flight, from
+	// before the document decodes until the response is written. The
+	// retention sweep never victimizes these: without it, a concurrent
+	// sweep could list another client's just-persisted (cold, unqueried)
+	// run and delete it before that client even receives its 200.
+	ingestingMu sync.Mutex
+	ingesting   map[string]int
 }
 
 // session is one cached run: the stored session plus the name index,
@@ -156,6 +181,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.MaxInflight
 	}
+	if cfg.MaxRuns > 0 && !cfg.EnableIngest {
+		return nil, errors.New("server: Config.MaxRuns requires EnableIngest (retention sweeps ride the write path)")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	s := &Server{
 		st:             cfg.Store,
 		scheme:         cfg.Scheme,
@@ -163,14 +194,18 @@ func New(cfg Config) (*Server, error) {
 		batchPar:       cfg.BatchParallelism,
 		ingest:         cfg.EnableIngest,
 		maxIngestBytes: cfg.MaxIngestBytes,
+		maxRuns:        cfg.MaxRuns,
+		logf:           cfg.Logf,
 		adm:            newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.RatePerClient, cfg.RateBurst),
 		mux:            http.NewServeMux(),
 	}
+	s.ingesting = make(map[string]int)
 	s.cache = newSessionCache(cfg.CacheSize, s.load)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/specs", s.handleSpecs)
 	s.mux.HandleFunc("/runs", s.handleRuns)
 	s.mux.HandleFunc("PUT /runs/{name}", s.handleIngest)
+	s.mux.HandleFunc("DELETE /runs/{name}", s.handleDelete)
 	s.mux.HandleFunc("/reachable", s.handleReachable)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/lineage", s.handleLineage)
@@ -207,9 +242,13 @@ func (s *Server) SaveHotList() error { return s.st.WriteHotList(s.cache.Names())
 
 // WarmFromHotList preloads the store's saved hot-session list into the
 // cache, returning how many sessions loaded. Stale entries (runs since
-// deleted, corrupt snapshots) are skipped, not fatal: the list is
-// advisory, and a partially warm cache still beats a cold one. Loads
-// run oldest-first so the list's most recently used name ends up at the
+// deleted, corrupt snapshots) are skipped and logged, never fatal: the
+// list is advisory, and a partially warm cache still beats a cold one —
+// a .hot blob naming a vanished run must never wedge a restart.
+// (Store.WriteHotList prunes deleted names at save time, so skips here
+// mean the run vanished after the list was written — e.g. another
+// process deleted it, or the list predates this version.) Loads run
+// oldest-first so the list's most recently used name ends up at the
 // front of the LRU, exactly as it was at shutdown.
 func (s *Server) WarmFromHotList() (int, error) {
 	names, err := s.st.ReadHotList()
@@ -223,6 +262,8 @@ func (s *Server) WarmFromHotList() (int, error) {
 	for i := len(names) - 1; i >= 0; i-- {
 		if _, err := s.cache.Get(names[i]); err == nil {
 			loaded++
+		} else {
+			s.logf("server: warm preload skipping %q: %v", names[i], err)
 		}
 	}
 	return loaded, nil

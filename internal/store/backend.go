@@ -32,6 +32,16 @@ import "io"
 // errors.Is(err, fs.ErrNotExist) — the serving layer relies on that to
 // distinguish 404 from 500. ListRuns returns names sorted ascending and
 // never includes meta blobs.
+//
+// DeleteRun is the mirror of WriteRun: it removes the pair with the
+// document made unreadable no later than the labels (document-before-
+// labels ordering, the reverse of the write side), so a reader that
+// observes the document can still read the labels — a visible run never
+// loses its label snapshot mid-delete. Deleting a name that is not
+// stored returns fs.ErrNotExist (the server's 404), and deleting while
+// other goroutines read or write that same name races like overwrite
+// does: the caller serializes same-name delete/read/write; distinct
+// names never interfere.
 type Backend interface {
 	// ReadSpec streams the stored specification document.
 	ReadSpec() (io.ReadCloser, error)
@@ -45,6 +55,11 @@ type Backend interface {
 	// WriteRun atomically persists a run document and its label snapshot
 	// under name. Implementations must not retain the slices.
 	WriteRun(name string, runDoc, labels []byte) error
+	// DeleteRun removes the named run's document and label snapshot,
+	// document first (see the contract above). Deleting a name that is
+	// not stored returns an error satisfying errors.Is(err,
+	// fs.ErrNotExist).
+	DeleteRun(name string) error
 	// ListRuns returns the stored run names, sorted ascending.
 	ListRuns() ([]string, error)
 	// ReadMeta streams a small named metadata blob (e.g. the serving

@@ -342,11 +342,14 @@ func Run(t *testing.T, newBackend Factory) {
 
 	t.Run("HotListRoundTrip", func(t *testing.T) {
 		// The warm-restart hot list rides the meta-blob API end to end
-		// through store.Store: saved MRU-first, read back in order, and
-		// absent on a store that never saved one.
+		// through store.Store: saved MRU-first for stored runs, read back
+		// in order, absent on a store that never saved one, and pruned of
+		// names the store no longer holds — a .hot blob must never keep
+		// naming a deleted run.
 		b := newBackend(t)
 		defer b.Close()
-		st, err := store.New(b, spec.PaperSpec(), "paper")
+		s := spec.PaperSpec()
+		st, err := store.New(b, s, "paper")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -354,6 +357,11 @@ func Run(t *testing.T, newBackend Factory) {
 			t.Fatalf("ReadHotList on fresh store = %v, %v", names, err)
 		}
 		want := []string{"hot-1", "hot-2", "cold-9"}
+		for i, n := range want {
+			if err := st.PutRun(n, genRun(t, s, int64(i+1), 60), nil, label.TCM{}); err != nil {
+				t.Fatal(err)
+			}
+		}
 		if err := st.WriteHotList(want); err != nil {
 			t.Fatal(err)
 		}
@@ -364,7 +372,21 @@ func Run(t *testing.T, newBackend Factory) {
 		if err := st.WriteHotList([]string{"../evil"}); err == nil {
 			t.Fatal("WriteHotList accepted an invalid run name")
 		}
+		// Deleted (or never-stored) names are pruned at write time: after
+		// hot-2 is deleted, re-saving the same list must not persist it.
+		if err := st.DeleteRun("hot-2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.WriteHotList(append(want, "never-stored")); err != nil {
+			t.Fatal(err)
+		}
+		got, err = st.ReadHotList()
+		if err != nil || fmt.Sprint(got) != fmt.Sprint([]string{"hot-1", "cold-9"}) {
+			t.Fatalf("ReadHotList after delete = %v, %v; want pruned [hot-1 cold-9]", got, err)
+		}
 	})
+
+	t.Run("DeleteRun", func(t *testing.T) { DeleteRunConformance(t, newBackend) })
 
 	t.Run("Stat", func(t *testing.T) {
 		b := newBackend(t)
@@ -499,6 +521,213 @@ func Run(t *testing.T, newBackend Factory) {
 			t.Fatalf("Close: %v", err)
 		}
 	})
+}
+
+// DeleteRunConformance pins the Backend delete contract — the last CRUD
+// edge: delete makes both blobs unreadable (fs.ErrNotExist, the
+// server's 404) and shrinks ListRuns; deleting a missing name is
+// ErrNotExist, not a success and not a 500-shaped error; a deleted name
+// can be re-written and served again; and mid-delete visibility honors
+// the document-before-labels ordering (a reader that can still see the
+// document can still read the labels — the mirror of WriteRun's
+// labels-before-document ordering). Run invokes it as the "DeleteRun"
+// subtest; it is exported so future backends can be audited directly.
+func DeleteRunConformance(t *testing.T, newBackend Factory) {
+	t.Run("Lifecycle", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		if err := b.DeleteRun("never-written"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("DeleteRun(never-written) = %v, want fs.ErrNotExist", err)
+		}
+		for _, name := range []string{"alpha", "beta", "gamma"} {
+			if err := b.WriteRun(name, []byte("d:"+name), []byte("l:"+name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.DeleteRun("beta"); err != nil {
+			t.Fatalf("DeleteRun(beta) = %v", err)
+		}
+		for _, probe := range []struct {
+			what string
+			call func(string) (io.ReadCloser, error)
+		}{
+			{"ReadRun", b.ReadRun},
+			{"ReadLabels", b.ReadLabels},
+		} {
+			rc, err := probe.call("beta")
+			if rc != nil {
+				rc.Close()
+			}
+			if !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("%s(beta) after delete = %v, want fs.ErrNotExist", probe.what, err)
+			}
+		}
+		names, err := b.ListRuns()
+		if err != nil || fmt.Sprint(names) != fmt.Sprint([]string{"alpha", "gamma"}) {
+			t.Fatalf("ListRuns after delete = %v, %v; want [alpha gamma]", names, err)
+		}
+		// Delete is not idempotent-silent: the second delete reports the
+		// name is gone, exactly like deleting a name never written.
+		if err := b.DeleteRun("beta"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("second DeleteRun(beta) = %v, want fs.ErrNotExist", err)
+		}
+		// The name is free for reuse: re-put works and reads back whole.
+		if err := b.WriteRun("beta", []byte("d2:beta"), []byte("l2:beta")); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadRun("beta") }); string(got) != "d2:beta" {
+			t.Fatalf("ReadRun after re-put = %q", got)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadLabels("beta") }); string(got) != "l2:beta" {
+			t.Fatalf("ReadLabels after re-put = %q", got)
+		}
+		if names, err := b.ListRuns(); err != nil || len(names) != 3 {
+			t.Fatalf("ListRuns after re-put = %v, %v", names, err)
+		}
+		// Untouched runs are unaffected throughout.
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadLabels("alpha") }); string(got) != "l:alpha" {
+			t.Fatalf("ReadLabels(alpha) after unrelated delete = %q", got)
+		}
+	})
+
+	t.Run("VisibilityOrdering", func(t *testing.T) {
+		// The delete-side twin of WriteVisibilityOrdering: while the
+		// document remains readable, the labels must be too — the pair
+		// may only become unreadable document-first.
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		if err := b.WriteRun("v", []byte("doc-v"), []byte("skl-v")); err != nil {
+			t.Fatal(err)
+		}
+		const readers = 4
+		start := make(chan struct{})
+		errs := make(chan error, readers)
+		var wg sync.WaitGroup
+		for g := 0; g < readers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for {
+					rc, err := b.ReadRun("v")
+					if errors.Is(err, fs.ErrNotExist) {
+						errs <- nil // delete observed; run vanished whole
+						return
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					rc.Close()
+					// Document was visible: labels must be readable — unless
+					// the delete completed wholesale between the two reads,
+					// which a re-probe of the document distinguishes (the
+					// ordering is violated only if the document is *still*
+					// readable while the labels are not).
+					skl, err := readErr(b.ReadLabels("v"))
+					if errors.Is(err, fs.ErrNotExist) {
+						if rc2, err2 := b.ReadRun("v"); errors.Is(err2, fs.ErrNotExist) {
+							errs <- nil // delete landed between the reads
+							return
+						} else if err2 == nil {
+							rc2.Close()
+							errs <- fmt.Errorf("document readable but labels already gone")
+							return
+						} else {
+							errs <- err2
+							return
+						}
+					}
+					if err != nil || string(skl) != "skl-v" {
+						errs <- fmt.Errorf("run still visible but labels = %q, %v", skl, err)
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		if err := b.DeleteRun("v"); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	t.Run("StoreDeleteRun", func(t *testing.T) {
+		// The Store layer on top: validation up front, delete → open is
+		// ErrNotExist → listing shrinks → re-put serves again, and a
+		// store.Copy racing deletes skips vanished runs instead of
+		// failing the whole replication.
+		b := newBackend(t)
+		defer b.Close()
+		s := spec.PaperSpec()
+		st, err := store.New(b, s, "paper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.DeleteRun("../evil"); err == nil {
+			t.Fatal("Store.DeleteRun accepted an invalid run name")
+		}
+		for i, name := range []string{"keep", "drop"} {
+			if err := st.PutRun(name, genRun(t, s, int64(i+1), 80), nil, label.TCM{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.DeleteRun("drop"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.OpenRun("drop", label.TCM{}); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("OpenRun after delete = %v, want fs.ErrNotExist", err)
+		}
+		if names, err := st.Runs(); err != nil || fmt.Sprint(names) != "[keep]" {
+			t.Fatalf("Runs after delete = %v, %v", names, err)
+		}
+		if err := st.DeleteRun("drop"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("Store.DeleteRun of a deleted run = %v, want fs.ErrNotExist", err)
+		}
+		reput := genRun(t, s, 9, 120)
+		if err := st.PutRun("drop", reput, nil, label.TCM{}); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := st.OpenRun("drop", label.TCM{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.Run.NumVertices() != reput.NumVertices() {
+			t.Fatalf("re-put session has %d vertices, want %d", sess.Run.NumVertices(), reput.NumVertices())
+		}
+		// Copy tolerates a run deleted between the listing and its read.
+		dst := store.NewMemBackend()
+		defer dst.Close()
+		if err := store.Copy(dst, deleteDuringCopy{Backend: b, name: "drop"}); err != nil {
+			t.Fatalf("Copy with mid-copy delete: %v", err)
+		}
+		names, err := dst.ListRuns()
+		if err != nil || fmt.Sprint(names) != "[keep]" {
+			t.Fatalf("copied runs = %v, %v; want [keep] (deleted run skipped)", names, err)
+		}
+	})
+}
+
+// deleteDuringCopy makes one run vanish the moment Copy tries to read
+// it, simulating a retention sweep deleting a listed run mid-copy.
+type deleteDuringCopy struct {
+	store.Backend
+	name string
+}
+
+func (d deleteDuringCopy) ReadRun(name string) (io.ReadCloser, error) {
+	if name == d.name {
+		d.Backend.DeleteRun(name)
+	}
+	return d.Backend.ReadRun(name)
 }
 
 // genRun generates a deterministic run of the spec for write-path tests.

@@ -1,12 +1,17 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // fsBackend stores blobs as files under one directory, the layout the
@@ -22,12 +27,40 @@ import (
 // completed write survives power loss. WriteRun durably renames the
 // .skl before the .xml — the .xml is what makes a run visible to
 // ListRuns, so a crash between the two leaves an orphaned snapshot
-// (overwritten on retry) rather than a visible run with no labels.
-// Overwriting a run that is concurrently being read can pair new labels
-// with the old document; per the Backend contract, same-name write/read
-// races are the caller's to serialize.
+// (overwritten on retry if the write is repeated, otherwise collected
+// by the orphan sweep below) rather than a visible run with no labels.
+// DeleteRun mirrors that ordering: the .xml is durably removed before
+// the .skl, so a crash mid-delete leaves an invisible orphaned .skl,
+// never a visible run whose labels are gone. Overwriting a run that is
+// concurrently being read can pair new labels with the old document;
+// per the Backend contract, same-name write/read races are the caller's
+// to serialize.
+//
+// Orphaned .skl files (a crash landed between the two renames of a
+// write or a delete) are swept once on the first ReadSpec or ListRuns —
+// store open and the first listing, which on a shard set reaches every
+// child — and again on DeleteRun (throttled, see there). The sweep
+// serializes against
+// in-process writes through sweepMu: WriteRun holds the read side
+// across its rename pair so the sweep can never observe (and collect)
+// the .skl of a write whose .xml rename is still in flight. Writers in
+// other processes are outside this lock and remain the deployment's to
+// serialize, as everywhere else in the contract.
 type fsBackend struct {
 	dir string
+
+	// sweepMu orders the orphan sweep (write side) against WriteRun's
+	// skl/xml rename pair (read side); see the type comment.
+	sweepMu sync.RWMutex
+	// sweepOnce runs the open-time orphan sweep exactly once, from the
+	// first ReadSpec (OpenBackend's entry point into the layout) or
+	// ListRuns (which reaches every child of a shard set).
+	sweepOnce sync.Once
+	// lastSweepNs throttles the delete-time sweep (unix nanos of the
+	// last one): a bulk retention sweep deleting thousands of runs must
+	// not rescan the directory per victim — each full scan is O(runs),
+	// so unthrottled batch deletes would go quadratic.
+	lastSweepNs atomic.Int64
 }
 
 // NewFSBackend returns a filesystem backend rooted at dir. The directory
@@ -37,6 +70,9 @@ type fsBackend struct {
 func NewFSBackend(dir string) Backend { return &fsBackend{dir: dir} }
 
 func (b *fsBackend) ReadSpec() (io.ReadCloser, error) {
+	// Opening a store always starts here, so this is where a directory
+	// gets its crash debris (orphaned .skl snapshots) collected.
+	b.sweepOnce.Do(func() { b.sweepOrphans() })
 	f, err := os.Open(filepath.Join(b.dir, "spec.xml"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -71,10 +107,80 @@ func (b *fsBackend) WriteRun(name string, runDoc, labels []byte) error {
 	if err := os.MkdirAll(filepath.Join(b.dir, "runs"), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	// The read side of sweepMu spans the rename pair: between the .skl
+	// and .xml renames this run is exactly the orphan shape the sweep
+	// collects, and the sweep must not run until the .xml lands.
+	b.sweepMu.RLock()
+	defer b.sweepMu.RUnlock()
 	if err := writeFileAtomic(b.runPath(name, ".skl"), labels); err != nil {
 		return err
 	}
 	return writeFileAtomic(b.runPath(name, ".xml"), runDoc)
+}
+
+// DeleteRun removes the pair in the reverse of the write ordering: the
+// .xml (what makes the run visible) is durably removed first, so at no
+// point can a reader list or open a run whose labels are already gone —
+// a crash between the two leaves only an invisible orphaned .skl, which
+// the trailing sweep (or the next open) collects. The trailing sweep is
+// a full runs/ scan (one ReadDir + stats, no fsync — small next to the
+// two directory fsyncs the delete itself pays), throttled to once per
+// second so a retention sweep deleting thousands of victims does one
+// scan per second instead of one per victim; orphans are invisible
+// garbage, so collecting them a little later costs nothing.
+func (b *fsBackend) DeleteRun(name string) error {
+	if err := b.deleteRunPair(name); err != nil {
+		return err
+	}
+	now := time.Now().UnixNano()
+	if last := b.lastSweepNs.Load(); now-last >= int64(time.Second) && b.lastSweepNs.CompareAndSwap(last, now) {
+		b.sweepOrphans()
+	}
+	return nil
+}
+
+func (b *fsBackend) deleteRunPair(name string) error {
+	b.sweepMu.RLock()
+	defer b.sweepMu.RUnlock()
+	if err := os.Remove(b.runPath(name, ".xml")); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	runsDir := filepath.Join(b.dir, "runs")
+	if err := syncDir(runsDir); err != nil {
+		return err
+	}
+	if err := os.Remove(b.runPath(name, ".skl")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		// A missing .skl behind a present .xml should not happen, but the
+		// run is already invisible — the delete succeeded.
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(runsDir)
+}
+
+// sweepOrphans removes label snapshots with no sibling .xml — the
+// debris a crash between a write's (or delete's) two renames leaves
+// behind. It holds the write side of sweepMu, so no in-process WriteRun
+// can be mid-pair while it scans. Sweep failures are deliberately
+// swallowed: an orphan is invisible garbage, never worth failing an
+// open or a delete over.
+func (b *fsBackend) sweepOrphans() {
+	b.sweepMu.Lock()
+	defer b.sweepMu.Unlock()
+	runsDir := filepath.Join(b.dir, "runs")
+	entries, err := os.ReadDir(runsDir)
+	if err != nil {
+		return // no runs directory, nothing to sweep
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, ".") || !strings.HasSuffix(n, ".skl") {
+			continue
+		}
+		xml := strings.TrimSuffix(n, ".skl") + ".xml"
+		if _, err := os.Stat(filepath.Join(runsDir, xml)); errors.Is(err, fs.ErrNotExist) {
+			os.Remove(filepath.Join(runsDir, n))
+		}
+	}
 }
 
 // Meta blobs live as dot-prefixed files in the store's root directory
@@ -102,6 +208,12 @@ func (b *fsBackend) WriteMeta(name string, data []byte) error {
 }
 
 func (b *fsBackend) ListRuns() ([]string, error) {
+	// The sweep also hooks the first listing: a shard set only reads the
+	// spec from its first child, so for children 1..n this is the call
+	// that collects their crash debris at startup (every shard ListRuns
+	// fans out to all children; serving layers list before they sweep
+	// retention).
+	b.sweepOnce.Do(func() { b.sweepOrphans() })
 	entries, err := os.ReadDir(filepath.Join(b.dir, "runs"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)

@@ -87,6 +87,22 @@ func (b *memBackend) WriteRun(name string, runDoc, labels []byte) error {
 	return nil
 }
 
+// DeleteRun removes the pair in one map delete — atomic by
+// construction, the mirror of WriteRun's map swap: readers see the
+// complete pair or neither blob, never a document without labels.
+func (b *memBackend) DeleteRun(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("store: mem backend is closed")
+	}
+	if _, ok := b.runs[name]; !ok {
+		return fmt.Errorf("store: mem run %q: %w", name, fs.ErrNotExist)
+	}
+	delete(b.runs, name)
+	return nil
+}
+
 // Meta blobs live in their own map: dot-prefixed names are invalid run
 // names, so metas and runs stay disjoint like the fs layout's root-dir
 // files versus runs/.

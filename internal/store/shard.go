@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"io/fs"
 	"sort"
 )
 
@@ -67,6 +68,35 @@ func (b *shardBackend) ReadLabels(name string) (io.ReadCloser, error) {
 
 func (b *shardBackend) WriteRun(name string, runDoc, labels []byte) error {
 	return b.child(name).WriteRun(name, runDoc, labels)
+}
+
+// DeleteRun routes by the same hash as WriteRun but then also asks the
+// non-owning children, tolerating already-missing there: a child
+// populated outside this shard set (the case ListRuns dedups for) may
+// hold a copy under a name it does not own, and a delete must not leave
+// such a copy behind to resurface in listings. The name is missing
+// everywhere only when no child stored it — that is the one ErrNotExist
+// case.
+func (b *shardBackend) DeleteRun(name string) error {
+	deleted := false
+	owner := shardIndex(name, len(b.children))
+	// Owning child first: the common case touches one child and the
+	// listing shrinks as soon as the owner's copy is gone.
+	for off := 0; off < len(b.children); off++ {
+		i := (owner + off) % len(b.children)
+		switch err := b.children[i].DeleteRun(name); {
+		case err == nil:
+			deleted = true
+		case errors.Is(err, fs.ErrNotExist):
+			// This child never had it; expected off the owning shard.
+		default:
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	if !deleted {
+		return fmt.Errorf("store: shard run %q: %w", name, fs.ErrNotExist)
+	}
+	return nil
 }
 
 // Meta blobs are store-wide (not keyed by run name), so they replicate

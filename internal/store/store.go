@@ -255,6 +255,20 @@ func (st *Store) Runs() ([]string, error) {
 	return st.backend.ListRuns()
 }
 
+// DeleteRun removes the named run's document and label snapshot from
+// the backend. Deleting a name that is not stored returns an error
+// satisfying errors.Is(err, fs.ErrNotExist). Like PutRun, a delete
+// concurrent with reads or writes of the *same* name races and must be
+// serialized by the caller — the serving layer holds its per-run-name
+// write lock across the backend delete and its cache invalidation;
+// distinct names never interfere.
+func (st *Store) DeleteRun(name string) error {
+	if err := ValidRunName(name); err != nil {
+		return err
+	}
+	return st.backend.DeleteRun(name)
+}
+
 // Session is a loaded run ready for querying: stored labels bound to the
 // specification's skeleton labeling, plus the run and its data items.
 type Session struct {
@@ -332,14 +346,32 @@ const HotListMeta = ".hot"
 
 // WriteHotList persists the hot-session list (run names, most recently
 // used first) so a restarted server can preload them. Invalid names are
-// rejected up front; an empty list is stored as an empty blob.
+// rejected up front; names that no longer exist in the store (runs
+// deleted while their session was still cached) are pruned rather than
+// persisted — a .hot blob must never keep naming a deleted run, so a
+// warm restart spends its startup loads only on runs that can actually
+// load. An empty list (or one pruned empty) is stored as an empty blob.
 func (st *Store) WriteHotList(names []string) error {
 	for _, n := range names {
 		if err := ValidRunName(n); err != nil {
 			return err
 		}
 	}
-	return st.backend.WriteMeta(HotListMeta, []byte(strings.Join(names, "\n")))
+	stored, err := st.backend.ListRuns()
+	if err != nil {
+		return err
+	}
+	exists := make(map[string]bool, len(stored))
+	for _, n := range stored {
+		exists[n] = true
+	}
+	kept := make([]string, 0, len(names))
+	for _, n := range names {
+		if exists[n] {
+			kept = append(kept, n)
+		}
+	}
+	return st.backend.WriteMeta(HotListMeta, []byte(strings.Join(kept, "\n")))
 }
 
 // ReadHotList returns the stored hot-session list, most recently used

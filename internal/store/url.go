@@ -73,7 +73,10 @@ func openBackendURL(rawurl string) (Backend, error) {
 // Copy replicates src's spec and every run into dst. It is the
 // workhorse behind "mem://<dir>" warm loading and works between any two
 // backends — e.g. snapshotting an in-memory store to disk, or fanning a
-// single directory out into a fresh shard set.
+// single directory out into a fresh shard set. Runs deleted from src
+// between the listing and their read (a retention sweep on a live
+// store) are skipped, not errors: the copy lands without them, exactly
+// as if it had started a moment later.
 func Copy(dst, src Backend) error {
 	spec, err := readAll(src.ReadSpec())
 	if err != nil {
@@ -88,10 +91,20 @@ func Copy(dst, src Backend) error {
 	}
 	for _, name := range names {
 		doc, err := readAll(src.ReadRun(name))
+		if errors.Is(err, fs.ErrNotExist) {
+			// Deleted between the listing and the read (a retention sweep
+			// on a live store): the run is simply not part of the copy.
+			continue
+		}
 		if err != nil {
 			return err
 		}
 		labels, err := readAll(src.ReadLabels(name))
+		if errors.Is(err, fs.ErrNotExist) {
+			// The delete removes the document first, so a vanished .skl
+			// means the same mid-copy delete caught between our two reads.
+			continue
+		}
 		if err != nil {
 			return err
 		}

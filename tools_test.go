@@ -295,6 +295,21 @@ func TestToolQueryPut(t *testing.T) {
 	if !strings.Contains(out, "-run") {
 		t.Fatalf("provquery -put without -run error unexpected:\n%s", out)
 	}
+
+	// -delete retires the run just ingested; a repeat delete reports the
+	// 404 instead of pretending success.
+	out = runTool(t, "provquery", "-delete", p.base, "-run", "r9")
+	if !strings.Contains(out, "deleted r9") {
+		t.Fatalf("provquery -delete output unexpected:\n%s", out)
+	}
+	out = runToolExpectError(t, "provquery", "-delete", p.base, "-run", "r9")
+	if !strings.Contains(out, "404") {
+		t.Fatalf("provquery -delete of a deleted run should report 404:\n%s", out)
+	}
+	out = runToolExpectError(t, "provquery", "-delete", p.base)
+	if !strings.Contains(out, "-run") {
+		t.Fatalf("provquery -delete without -run error unexpected:\n%s", out)
+	}
 }
 
 // TestToolQueryStore exercises provquery's -store mode: queries answered
