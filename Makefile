@@ -5,7 +5,14 @@ GO ?= go
 STORE ?= ./provstore
 ADDR ?= :8080
 
-.PHONY: build test race bench bench-store bench-json fmt vet serve ci
+# The current PR number: bench-json emits BENCH_$(PR).json against the
+# checked-in pre-PR measurement bench/BASELINE_$(PR).json, extending the
+# perf lineage cmd/benchtrend renders and gates on. Bump it (and check
+# in a fresh baseline: `make bench-json` with the old number, then move
+# the "benches" map into bench/BASELINE_<new>.json) once per PR.
+PR ?= 6
+
+.PHONY: build test race bench bench-store bench-json trend load-smoke fmt vet serve ci
 
 build:
 	$(GO) build ./...
@@ -19,24 +26,39 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Store-backend benchmarks (fs + mem) at a few iterations, so a
-# regression in either substrate shows up in the perf trajectory.
+# Store-backend (fs + mem) and server /batch benchmarks at a few
+# iterations, so a regression in either substrate or the serving hot
+# path shows up even in the quick CI smoke.
 bench-store:
 	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkServerBatchReachable' -benchtime=3x ./internal/store/ .
 
-# Serving-path benchmarks (snapshot codecs, /batch, the PR-4 ingest
-# write path, and the PR-5 delete path), rendered to BENCH_5.json with
-# the pre-PR5 baseline embedded, so the perf trajectory is tracked as a
-# CI artifact. BenchmarkServerDelete is new in PR 5 and therefore absent
-# from the baseline. Each go test runs as its own command so a failing
-# bench fails the target instead of emitting a silently incomplete
-# BENCH_5.json.
+# Serving-path benchmarks — snapshot codecs (SKL1/SKL2 encode+decode),
+# /batch reachability over fs and mem stores, and the ingest and delete
+# write paths — rendered to BENCH_$(PR).json with the pre-PR baseline
+# embedded, the per-PR artifact `make trend` diffs and gates on. Each
+# go test runs as its own command so a failing bench fails the target
+# instead of emitting a silently incomplete BENCH_$(PR).json.
 bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSnapshotDecode|BenchmarkSnapshotEncode' -benchtime=100x -count=3 ./internal/core/ > bench-json.out
 	$(GO) test -run='^$$' -bench='BenchmarkServerBatchReachable' -benchtime=50x -count=3 . >> bench-json.out
 	$(GO) test -run='^$$' -bench='BenchmarkServerIngest|BenchmarkServerDelete' -benchtime=20x -count=3 . >> bench-json.out
-	$(GO) run ./cmd/benchjson -baseline bench/BASELINE_5.json -o BENCH_5.json < bench-json.out
+	$(GO) run ./cmd/benchjson -baseline bench/BASELINE_$(PR).json -o BENCH_$(PR).json < bench-json.out
 	@rm -f bench-json.out
+
+# Cross-PR perf trajectory + regression gate over the BASELINE lineage
+# and the current bench-json artifact (exits nonzero on a regression
+# beyond tolerance; see cmd/benchtrend for the tolerance knobs).
+trend: bench-json
+	$(GO) run ./cmd/benchtrend -dir bench -current BENCH_$(PR).json -o TREND.md
+
+# Short open-loop load run against an in-process mem-store server:
+# mixed reachable/batch/lineage/put/delete traffic, zipfian popularity,
+# SLO verdicts logged and enforced (see cmd/provload for the knobs).
+load-smoke:
+	$(GO) run ./cmd/provload -store mem: -runs 24 -run-size 300 -clients 8 \
+		-rate 400 -duration 3s -slo-read-p99 250ms -slo-write-p99 1s \
+		-slo-error-rate 0 -fail-on-slo -quiet -report PROVLOAD.json
+	@echo "load-smoke: report in PROVLOAD.json"
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -50,4 +72,4 @@ vet:
 serve:
 	$(GO) run ./cmd/provserve -store $(STORE) -addr $(ADDR)
 
-ci: fmt vet build race bench bench-store
+ci: fmt vet build race bench bench-store load-smoke

@@ -172,6 +172,48 @@
 // streaming reader (see BENCH_3.json; tracked by
 // BenchmarkSnapshotDecode).
 //
+// # Benchmarks and the perf trend gate
+//
+// Serving-path performance is tracked across PRs as a lineage of JSON
+// artifacts in the provbench.v1 schema:
+//
+//	{
+//	  "schema": "provbench.v1",
+//	  "go": "go1.24.x linux/amd64",
+//	  "benches": {
+//	    "ServerBatchReachable/pairs=1024": {
+//	      "ns_op": 107131, "b_op": 10034, "allocs_op": 22, "mb_s": 0
+//	    },
+//	    ...
+//	  },
+//	  "baseline": { ...same shape, the pre-PR measurement, embedded... }
+//	}
+//
+// Each bench name maps to the best (minimum ns/op) of -count=3 runs;
+// mb_s is nonzero only for throughput-reporting benchmarks. bench/
+// holds one checked-in BASELINE_<n>.json per PR — the measurement taken
+// on the pre-PR tree — and `make bench-json` reproduces the current
+// tree's numbers as BENCH_<n>.json with that baseline embedded
+// verbatim, via cmd/benchjson parsing `go test -bench` output.
+//
+// cmd/benchtrend (and `make trend`) reads the whole lineage, renders
+// per-metric trajectory tables (TREND.md), and gates: the current run
+// fails if any benchmark regresses past BOTH a relative tolerance and
+// an absolute noise floor — ns/op +50% and >50ns (wall time is noisy on
+// shared runners), B/op +25% and >64B, allocs/op +10% and >2 allocs
+// (deterministic, the real teeth). Benchmarks missing from either side
+// (added, renamed, retired) are reported but never fail the gate, so
+// refactors don't have to ship baseline edits in the same change. CI
+// runs the gate on every push and uploads BENCH_<n>.json and TREND.md
+// as artifacts; `make ci` mirrors the rest of the pipeline locally.
+//
+// For macro numbers, cmd/provload drives a real server (or a
+// self-served in-process one) with open-loop multi-tenant load —
+// zipfian run popularity, configurable traffic mix — and emits latency
+// percentiles, throughput and SLO verdicts (provload.v1 JSON);
+// `make load-smoke` is the CI-sized run.
+//
 // See examples/ for complete programs, cmd/provbench for the paper's
-// full experimental suite, and cmd/provserve for the query daemon.
+// full experimental suite, cmd/provserve for the query daemon, and
+// cmd/provload + cmd/benchtrend for the performance tooling.
 package repro

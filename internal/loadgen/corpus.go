@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/label"
+	"repro/internal/run"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/workload"
+	"repro/internal/xmlio"
+)
+
+// Corpus is what the driver needs to know about the store under test:
+// the queryable runs (zipfian popularity follows slice order) and
+// pre-rendered run XML bodies for PUT traffic.
+type Corpus struct {
+	Runs      []RunInfo
+	PutBodies [][]byte
+}
+
+// BuildCorpus populates st with n generated runs of roughly size
+// vertices each (names "run-0000"...) labeled with scheme, and renders
+// putBodies extra run documents (over the store's own spec) for ingest
+// traffic. It is deterministic given seed.
+func BuildCorpus(st *store.Store, n, size, putBodies int, seed int64, scheme label.Scheme) (*Corpus, error) {
+	if scheme == nil {
+		scheme = label.TCM{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{}
+	for i := 0; i < n; i++ {
+		r, _ := run.GenerateSized(st.Spec(), rng, size)
+		name := fmt.Sprintf("run-%04d", i)
+		if err := st.PutRun(name, r, nil, scheme); err != nil {
+			return nil, fmt.Errorf("corpus: put %s: %w", name, err)
+		}
+		c.Runs = append(c.Runs, RunInfo{Name: name, Vertices: r.NumVertices()})
+	}
+	bodies, err := RenderPutBodies(st.Spec(), st.SpecName(), putBodies, size, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	c.PutBodies = bodies
+	return c, nil
+}
+
+// RenderPutBodies generates n run XML documents over sp for PUT
+// traffic, deterministic given seed.
+func RenderPutBodies(sp *spec.Spec, specName string, n, size int, seed int64) ([][]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var bodies [][]byte
+	for i := 0; i < n; i++ {
+		r, _ := run.GenerateSized(sp, rng, size)
+		var buf bytes.Buffer
+		if err := xmlio.EncodeRun(&buf, r, nil, specName); err != nil {
+			return nil, fmt.Errorf("corpus: render put body: %w", err)
+		}
+		bodies = append(bodies, buf.Bytes())
+	}
+	return bodies, nil
+}
+
+// CorpusFromStore builds the read corpus from an already-populated
+// store (vertex counts come from opening each run once).
+func CorpusFromStore(st *store.Store, scheme label.Scheme) (*Corpus, error) {
+	if scheme == nil {
+		scheme = label.TCM{}
+	}
+	names, err := st.Runs()
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{}
+	for _, name := range names {
+		sess, err := st.OpenRun(name, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: open %s: %w", name, err)
+		}
+		c.Runs = append(c.Runs, RunInfo{Name: name, Vertices: sess.Run.NumVertices()})
+	}
+	return c, nil
+}
+
+// StandInSpec resolves the named Table-1 stand-in workflow (the load
+// harness's default corpus spec).
+func StandInSpec(name string, seed int64) (*spec.Spec, error) {
+	return workload.StandIn(name, seed)
+}
+
+// OpenOrCreateStore opens the store at a provserve-style URL
+// (fs://dir, bare path, mem:, mem://, shard://a,b), creating it with
+// the given spec when it does not exist yet. The second result reports
+// whether the store was created (and therefore needs a corpus).
+func OpenOrCreateStore(url string, sp *spec.Spec, specName string) (*store.Store, bool, error) {
+	switch {
+	case url == "mem:" || url == "mem://" || strings.HasPrefix(url, "mem://"):
+		// A pure in-RAM store is always fresh; mem://dir preloading an
+		// existing fs directory is store.OpenURL's job.
+		if url == "mem:" || url == "mem://" {
+			st, err := store.NewMem(sp, specName)
+			return st, true, err
+		}
+		st, err := store.OpenURL(url)
+		return st, false, err
+	case strings.HasPrefix(url, "shard://"):
+		dirs := strings.Split(strings.TrimPrefix(url, "shard://"), ",")
+		if st, err := store.OpenSharded(dirs); err == nil {
+			return st, false, nil
+		}
+		st, err := store.CreateSharded(dirs, sp, specName)
+		return st, true, err
+	default:
+		dir := strings.TrimPrefix(url, "fs://")
+		if st, err := store.Open(dir); err == nil {
+			return st, false, nil
+		}
+		st, err := store.Create(dir, sp, specName)
+		return st, true, err
+	}
+}

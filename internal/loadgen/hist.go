@@ -1,0 +1,129 @@
+package loadgen
+
+import "math"
+
+// histGrowth is the geometric bucket growth factor. Bucket i covers
+// [histGrowth^i, histGrowth^(i+1)) nanoseconds, so any reported
+// quantile is within ~5% relative error of the true value — plenty for
+// latency SLO verdicts, at a fixed few-KB footprint per endpoint.
+const histGrowth = 1.05
+
+// histBuckets spans 1ns .. ~3.8e3 seconds: ceil(log(3.8e12)/log(1.05)).
+const histBuckets = 594
+
+// Hist is a fixed-size log-bucketed latency histogram (an HDR-histogram
+// lite). It is NOT safe for concurrent use; the driver funnels every
+// sample through one collector goroutine and merges per-endpoint
+// histograms only after the run.
+type Hist struct {
+	counts [histBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+	min    int64
+}
+
+func histIndex(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	i := int(math.Log(float64(ns)) / math.Log(histGrowth))
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Record adds one latency sample in nanoseconds.
+func (h *Hist) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histIndex(ns)]++
+	h.n++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	if h.n == 1 || ns < h.min {
+		h.min = ns
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.n }
+
+// Mean returns the exact arithmetic mean in nanoseconds (0 if empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the exact maximum sample in nanoseconds.
+func (h *Hist) Max() int64 { return h.max }
+
+// Min returns the exact minimum sample in nanoseconds.
+func (h *Hist) Min() int64 { return h.min }
+
+// Quantile returns the q-quantile (0 <= q <= 1) in nanoseconds: the
+// geometric midpoint of the bucket holding the rank-q sample, clamped
+// to the exact observed min/max so Quantile(0) and Quantile(1) are
+// exact. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	// The rank-1 and rank-n samples are tracked exactly.
+	if rank <= 1 {
+		return h.min
+	}
+	if rank >= h.n {
+		return h.max
+	}
+	seen := int64(0)
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			lo := math.Pow(histGrowth, float64(i))
+			v := int64(lo * math.Sqrt(histGrowth))
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}

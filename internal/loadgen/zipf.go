@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^theta — the classic popularity skew (YCSB uses
+// theta=0.99): rank 0 is the hottest run, the tail is long and cold.
+// theta=0 degenerates to uniform. Sampling is a binary search over the
+// precomputed CDF, so it is deterministic given the caller's *rand.Rand
+// and costs O(log n) per draw with no mutable state of its own — one
+// Zipf may be shared across clients as long as each draws from its own
+// rng.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds the sampler for n ranks at skew theta. n must be >= 1;
+// negative theta is clamped to 0.
+func NewZipf(n int, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	// Guard against floating-point round-off leaving the last CDF entry
+	// a hair under 1: rng.Float64() < 1 always lands in range anyway,
+	// but make the invariant explicit.
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next draws a rank using the given rng.
+func (z *Zipf) Next(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

@@ -62,7 +62,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dag"
@@ -149,7 +151,62 @@ type Server struct {
 	// run and delete it before that client even receives its 200.
 	ingestingMu sync.Mutex
 	ingesting   map[string]int
+
+	served servedCounters
 }
+
+// servedCounters counts admitted requests per endpoint — the
+// server-side ground truth a load harness (cmd/provload) diffs across a
+// run to cross-check its client-side counts: under overload, responses
+// lost in transit appear as a gap between served and completed.
+type servedCounters struct {
+	healthz, specs, runs, reachable, batch, lineage, ingest, delete, other atomic.Int64
+}
+
+// counterFor maps one request to its endpoint counter.
+func (c *servedCounters) counterFor(r *http.Request) *atomic.Int64 {
+	switch {
+	case r.URL.Path == "/healthz":
+		return &c.healthz
+	case r.URL.Path == "/specs":
+		return &c.specs
+	case r.URL.Path == "/runs":
+		return &c.runs
+	case r.URL.Path == "/reachable":
+		return &c.reachable
+	case r.URL.Path == "/batch":
+		return &c.batch
+	case r.URL.Path == "/lineage":
+		return &c.lineage
+	case strings.HasPrefix(r.URL.Path, "/runs/"):
+		switch r.Method {
+		case http.MethodPut:
+			return &c.ingest
+		case http.MethodDelete:
+			return &c.delete
+		}
+	}
+	return &c.other
+}
+
+func (c *servedCounters) snapshot() map[string]int64 {
+	return map[string]int64{
+		"healthz":   c.healthz.Load(),
+		"specs":     c.specs.Load(),
+		"runs":      c.runs.Load(),
+		"reachable": c.reachable.Load(),
+		"batch":     c.batch.Load(),
+		"lineage":   c.lineage.Load(),
+		"put":       c.ingest.Load(),
+		"delete":    c.delete.Load(),
+		"other":     c.other.Load(),
+	}
+}
+
+// Served returns the number of requests dispatched per endpoint since
+// the server started (admitted requests only — 429s rejected at the
+// admission layer are counted in AdmissionState instead).
+func (s *Server) Served() map[string]int64 { return s.served.snapshot() }
 
 // session is one cached run: the stored session plus the name index,
 // both immutable after load.
@@ -217,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 // admission toll (rate limit + bounded concurrency) before dispatch.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/healthz" {
+		s.served.healthz.Add(1)
 		s.mux.ServeHTTP(w, r)
 		return
 	}
@@ -225,6 +283,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	s.served.counterFor(r).Add(1)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -383,6 +442,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"store":     s.st.Stat(),
 		"cache":     s.cache.Stats(),
 		"admission": s.adm.Stats(),
+		"served":    s.served.snapshot(),
 	})
 }
 

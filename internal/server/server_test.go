@@ -648,3 +648,39 @@ func TestVertexRefEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestServedCounters pins the per-endpoint served counters /healthz
+// exposes for the load harness: admitted requests increment exactly one
+// endpoint counter, and admission rejections increment none.
+func TestServedCounters(t *testing.T) {
+	_, st := newTestStore(t)
+	defer st.Close()
+	s := newTestServer(t, st, 4, 64)
+
+	do(t, s, http.MethodGet, "/reachable?run=alpha&from=0&to=1", "", nil)
+	do(t, s, http.MethodGet, "/reachable?run=alpha&from=1&to=0", "", nil)
+	do(t, s, http.MethodPost, "/batch", `{"run":"alpha","pairs":[[0,1]]}`, nil)
+	do(t, s, http.MethodGet, "/runs", "", nil)
+	do(t, s, http.MethodGet, "/specs", "", nil)
+	do(t, s, http.MethodGet, "/lineage?run=alpha&vertex=0&dir=down", "", nil)
+	// A rejected method still counts: the counter tracks dispatch, not
+	// success.
+	do(t, s, http.MethodDelete, "/runs/alpha", "", nil) // 403: ingest off
+
+	var health struct {
+		Served map[string]int64 `json:"served"`
+	}
+	do(t, s, http.MethodGet, "/healthz", "", &health)
+	want := map[string]int64{
+		"reachable": 2, "batch": 1, "runs": 1, "specs": 1,
+		"lineage": 1, "delete": 1, "healthz": 1, "put": 0, "other": 0,
+	}
+	for k, v := range want {
+		if health.Served[k] != v {
+			t.Errorf("served[%s] = %d, want %d (all: %v)", k, health.Served[k], v, health.Served)
+		}
+	}
+	if got := s.Served()["reachable"]; got != 2 {
+		t.Errorf("Served()[reachable] = %d, want 2", got)
+	}
+}

@@ -1,0 +1,146 @@
+package trend
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The checked-in bench/BASELINE_3..5.json files are the golden fixtures:
+// real measurements from PRs 3..5, exercised here so the lineage format
+// can never drift without a test noticing. They are copied into a temp
+// dir so later PRs adding BASELINE_6+.json never change these tables.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, n := range []string{"BASELINE_3.json", "BASELINE_4.json", "BASELINE_5.json"} {
+		b, err := os.ReadFile(filepath.Join("../../bench", n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, n), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadLineageFixtures(t *testing.T) {
+	points, err := LoadLineage(fixtureDir(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("want >= 3 baseline points, got %d", len(points))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if points[i].Seq != want {
+			t.Errorf("point %d: seq %d, want %d", i, points[i].Seq, want)
+		}
+		if points[i].Label != "PR "+string(rune('0'+want))+" base" {
+			t.Errorf("point %d: label %q", i, points[i].Label)
+		}
+		if len(points[i].Benches) == 0 {
+			t.Errorf("point %d has no benches", i)
+		}
+	}
+	// Values every fixture must agree on (from the real lineage).
+	b3 := points[0].Benches["ServerBatchReachable/pairs=1024"]
+	if b3.NsOp != 563822 || b3.AllocsOp != 2095 {
+		t.Errorf("PR 3 base pairs=1024 = %+v, fixture drifted", b3)
+	}
+	b5 := points[2].Benches["ServerBatchReachable/pairs=1024"]
+	if b5.AllocsOp != 24 {
+		t.Errorf("PR 5 base pairs=1024 allocs = %d, want 24", b5.AllocsOp)
+	}
+}
+
+func TestTableGolden(t *testing.T) {
+	points, err := LoadLineage(fixtureDir(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := Table(points, MetricNsOp)
+	for _, want := range []string{
+		"| benchmark (ns/op) | PR 3 base | PR 4 base | PR 5 base | Δ |",
+		"| ServerBatchReachable/pairs=1024 | 564µs | 91.7µs | 107µs |",
+		"| SnapshotDecode/SKL1/n=16000 |",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("ns/op table missing %q:\n%s", want, table)
+		}
+	}
+	// A benchmark absent from an early point renders as a dash, not a
+	// crash or a zero.
+	if !strings.Contains(table, "| ServerIngest | — | — |") {
+		t.Errorf("missing-early-point rendering wrong:\n%s", table)
+	}
+	allocs := Table(points, MetricAllocsOp)
+	if !strings.Contains(allocs, "| ServerBatchReachable/pairs=1024 | 2095 | 22 | 24 |") {
+		t.Errorf("allocs table wrong:\n%s", allocs)
+	}
+}
+
+func TestGateImprovementPasses(t *testing.T) {
+	prev := map[string]Bench{"X": {NsOp: 1000, BOp: 512, AllocsOp: 20}}
+	cur := map[string]Bench{"X": {NsOp: 600, BOp: 256, AllocsOp: 10}}
+	regs, missing := Gate(prev, cur, DefaultTolerance)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Errorf("improvement flagged: regs=%v missing=%v", regs, missing)
+	}
+}
+
+func TestGateRegressionBeyondTolerance(t *testing.T) {
+	prev := map[string]Bench{"X": {NsOp: 10_000, BOp: 4096, AllocsOp: 50}}
+	cur := map[string]Bench{"X": {NsOp: 30_000, BOp: 4096, AllocsOp: 120}}
+	regs, _ := Gate(prev, cur, DefaultTolerance)
+	if len(regs) != 2 {
+		t.Fatalf("want ns/op + allocs/op regressions, got %v", regs)
+	}
+	if regs[0].Metric != "ns/op" || regs[1].Metric != "allocs/op" {
+		t.Errorf("wrong metrics: %v", regs)
+	}
+}
+
+func TestGateNoiseFloors(t *testing.T) {
+	// Tiny absolute wobbles must never gate, even when the ratio is
+	// huge: 22 -> 24 allocs is +9% but only +2 allocs; 30ns -> 70ns is
+	// +133% but under the 50ns floor.
+	prev := map[string]Bench{
+		"allocs": {NsOp: 1000, AllocsOp: 22},
+		"fast":   {NsOp: 30},
+	}
+	cur := map[string]Bench{
+		"allocs": {NsOp: 1000, AllocsOp: 24},
+		"fast":   {NsOp: 70},
+	}
+	if regs, _ := Gate(prev, cur, DefaultTolerance); len(regs) != 0 {
+		t.Errorf("noise-floor wobble gated: %v", regs)
+	}
+}
+
+func TestGateMissingBenchTolerated(t *testing.T) {
+	prev := map[string]Bench{"Renamed": {NsOp: 1000}, "Kept": {NsOp: 1000}}
+	cur := map[string]Bench{"Kept": {NsOp: 900}, "Brand-new": {NsOp: 1}}
+	regs, missing := Gate(prev, cur, DefaultTolerance)
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "Renamed" {
+		t.Errorf("missing = %v, want [Renamed]", missing)
+	}
+}
+
+func TestSeqOf(t *testing.T) {
+	for path, want := range map[string]int{
+		"bench/BASELINE_5.json": 5,
+		"BENCH_12.json":         12,
+		"whatever.json":         -1,
+		"BASELINE_x.json":       -1,
+	} {
+		if got := SeqOf(path); got != want {
+			t.Errorf("SeqOf(%q) = %d, want %d", path, got, want)
+		}
+	}
+}
