@@ -10,7 +10,7 @@ ADDR ?= :8080
 # perf lineage cmd/benchtrend renders and gates on. Bump it (and check
 # in a fresh baseline: `make bench-json` with the old number, then move
 # the "benches" map into bench/BASELINE_<new>.json) once per PR.
-PR ?= 6
+PR ?= 7
 
 .PHONY: build test race bench bench-store bench-json trend load-smoke fmt vet serve ci
 
@@ -41,7 +41,7 @@ bench-store:
 bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSnapshotDecode|BenchmarkSnapshotEncode' -benchtime=100x -count=3 ./internal/core/ > bench-json.out
 	$(GO) test -run='^$$' -bench='BenchmarkServerBatchReachable' -benchtime=50x -count=3 . >> bench-json.out
-	$(GO) test -run='^$$' -bench='BenchmarkServerIngest|BenchmarkServerDelete' -benchtime=20x -count=3 . >> bench-json.out
+	$(GO) test -run='^$$' -bench='BenchmarkServerIngest|BenchmarkServerDelete|BenchmarkServerAppendEvents' -benchtime=20x -count=3 . >> bench-json.out
 	$(GO) run ./cmd/benchjson -baseline bench/BASELINE_$(PR).json -o BENCH_$(PR).json < bench-json.out
 	@rm -f bench-json.out
 
@@ -52,10 +52,12 @@ trend: bench-json
 	$(GO) run ./cmd/benchtrend -dir bench -current BENCH_$(PR).json -o TREND.md
 
 # Short open-loop load run against an in-process mem-store server:
-# mixed reachable/batch/lineage/put/delete traffic, zipfian popularity,
-# SLO verdicts logged and enforced (see cmd/provload for the knobs).
+# mixed reachable/batch/lineage/put/delete/stream traffic, zipfian
+# popularity, SLO verdicts logged and enforced (see cmd/provload for
+# the knobs).
 load-smoke:
 	$(GO) run ./cmd/provload -store mem: -runs 24 -run-size 300 -clients 8 \
+		-mix reachable=55,batch=15,lineage=5,put=8,delete=2,stream=15 \
 		-rate 400 -duration 3s -slo-read-p99 250ms -slo-write-p99 1s \
 		-slo-error-rate 0 -fail-on-slo -quiet -report PROVLOAD.json
 	@echo "load-smoke: report in PROVLOAD.json"

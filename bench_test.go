@@ -351,6 +351,69 @@ func BenchmarkServerDelete(b *testing.B) {
 	}
 }
 
+// BenchmarkServerAppendEvents measures the streaming write path end to
+// end — event-log parse, append-protocol validation, durable event-log
+// append, and incremental skeleton labeling — as POST /runs/{name}/events
+// batches of 64 engine events against the in-memory backend. This is
+// the per-batch cost of live ingest, the streaming counterpart of
+// BenchmarkServerIngest. Checkpointing is disabled so every iteration
+// measures the same work; the checkpoint itself is a snapshot encode,
+// already covered by the snapshot benches.
+func BenchmarkServerAppendEvents(b *testing.B) {
+	s, err := repro.StandInSpec("QBLAST", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, p := repro.GenerateRun(s, rand.New(rand.NewSource(1000)), 1000)
+	evs := repro.EmitEvents(r, p)
+	const per = 64
+	var batches [][]byte
+	var offsets []int
+	var total int64
+	for i := 0; i < len(evs); i += per {
+		var buf bytes.Buffer
+		if err := repro.WriteEventLog(&buf, evs[i:min(i+per, len(evs))]); err != nil {
+			b.Fatal(err)
+		}
+		batches = append(batches, buf.Bytes())
+		offsets = append(offsets, i)
+		total += int64(len(buf.Bytes()))
+	}
+	st, err := repro.NewMemStore(s, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Store: st, EnableStream: true, CheckpointEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(total / int64(len(batches)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	step := 0
+	for i := 0; i < b.N; i++ {
+		if step == len(batches) {
+			// Log exhausted: retire the live run off the clock and
+			// restart the stream from offset zero.
+			b.StopTimer()
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("DELETE", "/runs/r1", nil))
+			if rec.Code != 200 {
+				b.Fatalf("DELETE: status %d: %s", rec.Code, rec.Body.String())
+			}
+			step = 0
+			b.StartTimer()
+		}
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", fmt.Sprintf("/runs/r1/events?offset=%d", offsets[step]), bytes.NewReader(batches[step]))
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("append at %d: status %d: %s", offsets[step], rec.Code, rec.Body.String())
+		}
+		step++
+	}
+}
+
 // BenchmarkServerBatchReachable measures the query server's batched
 // reachability path end to end — JSON decode, cache-hit session lookup,
 // the constant-time Reachable per pair, JSON encode — as the serving

@@ -1,7 +1,8 @@
 // Command provload is the million-user load harness: an open-loop
 // multi-tenant load generator that drives a provserve-compatible server
 // with N simulated clients, zipfian run popularity and a configurable
-// GET /reachable / POST /batch / lineage / PUT / DELETE traffic mix,
+// GET /reachable / POST /batch / lineage / PUT / DELETE / streaming
+// ingest traffic mix,
 // then reports per-endpoint latency percentiles (p50/p95/p99/max),
 // throughput, 429/admission outcomes and SLO verdicts as a
 // machine-readable JSON report.
@@ -13,6 +14,10 @@
 //	provload -store mem: -clients 16 -rate 500 -duration 10s
 //	provload -store fs://./loadstore -runs 128 -run-size 1000
 //	provload -store shard://a,b,c -mix reachable=60,batch=20,put=15,delete=5
+//	provload -store mem: -mix reachable=70,stream=30    streaming ingest:
+//	                                                    each client cycles
+//	                                                    append/finish/delete
+//	                                                    on its own live run
 //
 // Target mode drives an already-running provserve instead, discovering
 // the read corpus over GET /runs (PUT traffic needs -put-xml run
@@ -64,6 +69,7 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "load duration")
 		mixFlag  = flag.String("mix", "reachable=70,batch=15,lineage=5,put=8,delete=2", "traffic mix weights")
 		pairs    = flag.Int("pairs", 16, "pairs per /batch request")
+		sbatch   = flag.Int("stream-batch", 32, "events per streaming append (stream traffic)")
 		theta    = flag.Float64("theta", 0.99, "zipfian skew of run popularity (0 = uniform)")
 		seed     = flag.Int64("seed", 1, "deterministic schedule/query seed")
 		maxOut   = flag.Int("max-outstanding", 0, "cap on in-flight requests (harness self-protection; 0 = 4*clients)")
@@ -90,6 +96,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	needWrite := mix.Put > 0 || mix.Delete > 0
+	needStream := mix.Stream > 0
 
 	cfg := loadgen.Config{
 		Clients:        *clients,
@@ -111,6 +118,12 @@ func main() {
 
 	ctx := context.Background()
 	if *target != "" {
+		if needStream {
+			// Streaming appends must speak the target's workflow spec
+			// (hierarchy-node IDs, module names); the harness can only
+			// generate matching event logs for a store it opened itself.
+			fatalf("stream traffic needs self-serve mode (drop stream= from -mix in target mode)")
+		}
 		cfg.BaseURL = strings.TrimRight(*target, "/")
 		corpus, err := discoverCorpus(ctx, cfg.BaseURL)
 		if err != nil {
@@ -154,6 +167,12 @@ func main() {
 		if len(corpus.Runs) == 0 {
 			fatalf("store %s holds no runs (delete it or point -store elsewhere to regenerate)", *storeU)
 		}
+		if needStream {
+			cfg.StreamBatches, err = loadgen.StreamEventBatches(st.Spec(), *runSize, *sbatch, *seed+2)
+			if err != nil {
+				fatalf("building stream batches: %v", err)
+			}
+		}
 		logf := log.Printf
 		if *quiet {
 			logf = nil
@@ -162,6 +181,7 @@ func main() {
 			Store:         st,
 			CacheSize:     *cacheSize,
 			EnableIngest:  needWrite,
+			EnableStream:  needStream,
 			MaxInflight:   *maxInflight,
 			QueueDepth:    *queueDepth,
 			RatePerClient: *rateLimit,

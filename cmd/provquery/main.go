@@ -32,6 +32,17 @@
 //
 //	provquery -delete http://localhost:8080 -run r2
 //
+// With -append, provquery is a streaming ingest client: it reads the
+// engine event log at -run (the events.WriteLog text format) and
+// appends it to a provserve (started with -stream) in batches of
+// -batch events, resuming idempotently from the server's applied
+// sequence — rerunning the same command after a crash or lost response
+// never double-applies an event. -finish then seals the live run into
+// a stored, queryable one:
+//
+//	provquery -append http://localhost:8080 -run r3.events -as r3
+//	provquery -finish http://localhost:8080 -run r3
+//
 // Vertices are addressed by occurrence name (module name plus occurrence
 // index, e.g. "b2" for the second execution of module b), data items by
 // their item name from the run XML.
@@ -68,6 +79,9 @@ func main() {
 		putURL      = flag.String("put", "", "provserve base URL: PUT the run XML at -run to the server (ingest smoke test)")
 		putAs       = flag.String("as", "", "stored run name for -put (default: the run file's base name)")
 		deleteURL   = flag.String("delete", "", "provserve base URL: DELETE the stored run named by -run from the server")
+		appendURL   = flag.String("append", "", "provserve base URL: stream the event log at -run to the server (POST /runs/{name}/events)")
+		appendBatch = flag.Int("batch", 64, "events per request for -append")
+		finishURL   = flag.String("finish", "", "provserve base URL: seal the live run named by -run (POST /runs/{name}/finish)")
 	)
 	flag.Parse()
 	if *putURL != "" {
@@ -82,6 +96,20 @@ func main() {
 			fatalf("-delete needs -run <stored run name>")
 		}
 		deleteRun(*deleteURL, *runPath)
+		return
+	}
+	if *appendURL != "" {
+		if *runPath == "" {
+			fatalf("-append needs -run <event log file>")
+		}
+		appendEvents(*appendURL, *runPath, *putAs, *appendBatch)
+		return
+	}
+	if *finishURL != "" {
+		if *runPath == "" {
+			fatalf("-finish needs -run <live run name>")
+		}
+		finishRun(*finishURL, *runPath)
 		return
 	}
 	if *storeURL == "" && (*specPath == "" || *runPath == "") {
@@ -305,6 +333,122 @@ func putRun(baseURL, path, name, from, to string) {
 	} else {
 		fmt.Printf("%s -> %s: NOT reachable\n", from, to)
 	}
+}
+
+// appendEvents streams the event log at path to a provserve under name
+// (default: the file's base name without .events), in batches with an
+// offset cursor. It first asks the server where the stream stands
+// (GET /runs/{name}), so rerunning after a crash or lost response
+// resumes from the applied sequence instead of re-sending everything.
+func appendEvents(baseURL, path, name string, batch int) {
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), ".events")
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	evs, err := repro.ReadEventLog(f)
+	f.Close()
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	base := strings.TrimSuffix(baseURL, "/")
+	seq := 0
+	resp, err := http.Get(base + "/runs/" + url.PathEscape(name))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var status struct {
+		Status string `json:"status"`
+		Events int    `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK && err == nil && status.Status == "live":
+		seq = status.Events
+		if seq > 0 {
+			fmt.Printf("resuming %s at sequence %d\n", name, seq)
+		}
+	case resp.StatusCode == http.StatusOK && err == nil:
+		fatalf("run %q is already finished", name)
+	case resp.StatusCode != http.StatusNotFound:
+		fatalf("GET /runs/%s: status %d", name, resp.StatusCode)
+	}
+	if seq > len(evs) {
+		fatalf("server has %d events applied but %s holds only %d", seq, path, len(evs))
+	}
+	var last struct {
+		Applied  int    `json:"applied"`
+		Seq      int    `json:"seq"`
+		Vertices int    `json:"vertices"`
+		Copies   int    `json:"copies"`
+		Error    string `json:"error"`
+	}
+	applied := 0
+	if seq == len(evs) {
+		fmt.Printf("%s already holds all %d events, nothing to apply\n", name, seq)
+		return
+	}
+	for seq < len(evs) {
+		end := seq + batch
+		if end > len(evs) {
+			end = len(evs)
+		}
+		var body bytes.Buffer
+		if err := repro.WriteEventLog(&body, evs[seq:end]); err != nil {
+			fatalf("%v", err)
+		}
+		target := fmt.Sprintf("%s/runs/%s/events?offset=%d", base, url.PathEscape(name), seq)
+		resp, err := http.Post(target, "text/plain", &body)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&last)
+		resp.Body.Close()
+		if err != nil {
+			fatalf("POST events: status %d, unreadable body: %v", resp.StatusCode, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatalf("POST events at offset %d: status %d: %s", seq, resp.StatusCode, last.Error)
+		}
+		seq = last.Seq
+		applied += last.Applied
+	}
+	fmt.Printf("streamed %s: %d events applied, %d module executions in %d copies\n",
+		name, applied, last.Vertices, last.Copies)
+}
+
+// finishRun seals a live streamed run into a stored one and reports the
+// persisted snapshot.
+func finishRun(baseURL, name string) {
+	base := strings.TrimSuffix(baseURL, "/")
+	resp, err := http.Post(base+"/runs/"+url.PathEscape(name)+"/finish", "text/plain", nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	var fin struct {
+		Run             string `json:"run"`
+		Vertices        int    `json:"vertices"`
+		Edges           int    `json:"edges"`
+		Events          int    `json:"events"`
+		SnapshotVersion string `json:"snapshot_version"`
+		SnapshotBytes   int    `json:"snapshot_bytes"`
+		Error           string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fin); err != nil {
+		fatalf("finish %s: status %d, unreadable body: %v", name, resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("finish %s: status %d: %s", name, resp.StatusCode, fin.Error)
+	}
+	fmt.Printf("finished %s: %d events -> %d vertices, %d edges, %s snapshot (%d bytes)\n",
+		fin.Run, fin.Events, fin.Vertices, fin.Edges, fin.SnapshotVersion, fin.SnapshotBytes)
 }
 
 // deleteRun sends DELETE /runs/{name} to a provserve and reports the

@@ -18,6 +18,12 @@
 //	                                              retention: keep at most
 //	                                              1000 runs, evicting
 //	                                              least-recently-used
+//	provserve -store ./provstore -stream          accept streaming ingest:
+//	                                              POST /runs/{name}/events
+//	                                              appends engine events to
+//	                                              a live run, /finish seals
+//	                                              it (-checkpoint-every
+//	                                              bounds crash replay)
 //
 // Endpoints (see internal/server):
 //
@@ -26,6 +32,9 @@
 //	curl localhost:8080/runs
 //	curl -X PUT --data-binary @run.xml localhost:8080/runs/r2
 //	curl -X DELETE localhost:8080/runs/r2
+//	curl localhost:8080/runs/r3
+//	curl -X POST --data-binary @batch.events 'localhost:8080/runs/r3/events?offset=0'
+//	curl -X POST localhost:8080/runs/r3/finish
 //	curl 'localhost:8080/reachable?run=r1&from=b1&to=c3'
 //	curl -d '{"run":"r1","pairs":[["b1","c3"],[12,34]]}' localhost:8080/batch
 //	curl 'localhost:8080/lineage?run=r1&vertex=h1&dir=up'
@@ -68,6 +77,8 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 8192, "maximum pairs per /batch request")
 		batchPar    = flag.Int("batch-parallelism", 0, "CPUs fanning out one large /batch request (0 = all)")
 		ingest      = flag.Bool("ingest", false, "accept PUT /runs/{name} run documents and DELETE /runs/{name} (the write path)")
+		stream      = flag.Bool("stream", false, "accept streaming ingest: POST /runs/{name}/events and /finish (see internal/server)")
+		ckptEvery   = flag.Int("checkpoint-every", 256, "events between live-session checkpoints (negative disables; needs -stream)")
 		maxIngest   = flag.Int64("max-ingest-bytes", 16<<20, "maximum ingest request body size")
 		maxRuns     = flag.Int("max-runs", 0, "retention bound: after each ingest, delete least-recently-used runs beyond this count (0 = unlimited; needs -ingest)")
 		maxInflight = flag.Int("max-inflight", 64, "maximum concurrently executing requests")
@@ -97,6 +108,8 @@ func main() {
 		MaxBatch:         *maxBatch,
 		BatchParallelism: *batchPar,
 		EnableIngest:     *ingest,
+		EnableStream:     *stream,
+		CheckpointEvery:  *ckptEvery,
 		MaxIngestBytes:   *maxIngest,
 		MaxRuns:          *maxRuns,
 		MaxInflight:      *maxInflight,
@@ -118,8 +131,8 @@ func main() {
 			log.Printf("provserve: warm preloaded %d session(s)", n)
 		}
 	}
-	log.Printf("provserve: serving store %q (spec %q, backend %s, scheme %s, ingest %v) on %s",
-		*storeURL, st.SpecName(), st.Stat().Kind, sch.Name(), *ingest, *addr)
+	log.Printf("provserve: serving store %q (spec %q, backend %s, scheme %s, ingest %v, stream %v) on %s",
+		*storeURL, st.SpecName(), st.Stat().Kind, sch.Name(), *ingest, *stream, *addr)
 
 	httpSrv := repro.NewQueryHTTPServer(*addr, srv)
 	stop := make(chan os.Signal, 1)

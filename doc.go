@@ -69,6 +69,44 @@
 // the same store name from outside the server are the deployment's to
 // serialize, per the StoreBackend contract.)
 //
+// # Streaming ingest: live runs over an event log
+//
+// With ServerConfig.EnableStream (or `provserve -stream`) a run can be
+// ingested while the workflow executes instead of as one post-hoc
+// document. POST /runs/{name}/events appends a batch of engine events
+// to a live run that answers /reachable, /batch and /lineage
+// immediately, GET /runs/{name} reports its progress, and POST
+// /runs/{name}/finish seals it into a stored run indistinguishable
+// from a PUT ingest — the differential tests assert byte-identical
+// query answers between the two paths.
+//
+// The wire format is the line-oriented engine event log (EmitEvents,
+// WriteEventLog, ReadEventLog):
+//
+//	copy 3 parent 1 hnode 7    the plan expands hierarchy node 7 as copy 3
+//	exec b copy 3              module b executes inside copy 3
+//
+// Each append carries the sequence number of its first event
+// (?offset=N; omit it to append at the current cursor). The cursor
+// makes retries idempotent: events the server already holds are
+// deduplicated against history and only the surplus applies; a batch
+// past the cursor is a gap and a batch contradicting history is a
+// conflict, both answered 409 with the current cursor so a client
+// resyncs with one status GET. `provquery -append <base-url> -run
+// <log.events> -as <name>` implements that client loop, and `provquery
+// -finish` seals the run.
+//
+// Durability is write-ahead: an accepted batch is appended to a
+// per-run event-log blob (Backend.AppendEventLog) before it is
+// acknowledged or applied, and every CheckpointEvery events
+// (`-checkpoint-every`, default 256) the live labeler is checkpointed
+// as an SKL2 snapshot, so crash recovery replays at most checkpoint +
+// log tail and no acknowledged event is ever lost — a SIGKILL
+// mid-stream followed by a restart resumes exactly at the acknowledged
+// cursor. Live-session gauges (open sessions, events appended,
+// renumbers, replays, checkpoints, checkpoint lag) ride on /healthz
+// under "live".
+//
 // # Run lifecycle: create, overwrite, delete, retention
 //
 // With deletion the Backend interface covers the full CRUD cycle, and
@@ -95,8 +133,11 @@
 //     overlapped a delete or overwrite can hand its (stale) session to
 //     the requests that were already waiting on it, but can never land
 //     it in the cache. The very next query after a DELETE answers 404.
-//   - Deleting is gated with ingest (EnableIngest / -ingest): a
-//     read-only server answers 403; a missing run answers 404.
+//   - Deleting is gated with the write paths (EnableIngest / -ingest or
+//     EnableStream / -stream): a read-only server answers 403; a
+//     missing run answers 404. With streaming enabled, DELETE also
+//     aborts a live stream under the name, clearing its event log and
+//     checkpoint so the name can stream again from offset zero.
 //
 // Retention builds on deletion: `provserve -ingest -max-runs N` (or
 // ServerConfig.MaxRuns / Server.EnforceMaxRuns in-process) sweeps after

@@ -154,16 +154,34 @@ func WriteLog(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// ReadLog parses a log written by WriteLog.
+// ReadLog parses a log written by WriteLog. Lines are capped at
+// bufio.Scanner's default 64KiB and the event count is unbounded; use
+// ReadLogLimits when the reader is fed from the wire.
 func ReadLog(r io.Reader) ([]Event, error) {
+	return ReadLogLimits(r, 0, 0)
+}
+
+// ReadLogLimits parses a log written by WriteLog, rejecting lines longer
+// than maxLine bytes and streams of more than maxEvents events — the
+// bounds a server applies to wire input so a hostile body can neither
+// balloon a single token nor an event slice past what the request-size
+// cap implies. Zero (or negative) disables either limit, leaving the
+// scanner's default 64KiB line cap.
+func ReadLogLimits(r io.Reader, maxLine, maxEvents int) ([]Event, error) {
 	var events []Event
 	sc := bufio.NewScanner(r)
+	if maxLine > 0 {
+		sc.Buffer(make([]byte, 0, min(maxLine, 64*1024)), maxLine)
+	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if maxEvents > 0 && len(events) >= maxEvents {
+			return nil, fmt.Errorf("events: line %d: more than %d events in one log", lineNo, maxEvents)
 		}
 		fields := strings.Fields(line)
 		switch {
@@ -187,7 +205,7 @@ func ReadLog(r io.Reader) ([]Event, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("events: %w", err)
 	}
 	return events, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/events"
 	"repro/internal/label"
 	"repro/internal/run"
 	"repro/internal/spec"
@@ -62,6 +63,15 @@ func RenderPutBodies(sp *spec.Spec, specName string, n, size int, seed int64) ([
 		bodies = append(bodies, buf.Bytes())
 	}
 	return bodies, nil
+}
+
+// StreamEventBatches generates one run of roughly size vertices over
+// sp, emits its engine event log and splits it into per-event append
+// batches for streaming-ingest traffic. Deterministic given seed.
+func StreamEventBatches(sp *spec.Spec, size, per int, seed int64) ([]StreamBatch, error) {
+	rng := rand.New(rand.NewSource(seed))
+	r, p := run.GenerateSized(sp, rng, size)
+	return SplitEventLog(events.Emit(r, p), per)
 }
 
 // CorpusFromStore builds the read corpus from an already-populated

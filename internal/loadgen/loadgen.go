@@ -1,7 +1,8 @@
 // Package loadgen is the open-loop multi-tenant load harness behind
 // cmd/provload: N simulated clients issue a configurable mix of
-// /reachable, /batch, /lineage, PUT and DELETE traffic against a
-// provserve-compatible HTTP server, with zipfian run popularity, and
+// /reachable, /batch, /lineage, PUT, DELETE and streaming-ingest
+// traffic against a provserve-compatible HTTP server, with zipfian run
+// popularity, and
 // the harness reports per-endpoint latency histograms, throughput,
 // 429/admission outcomes and SLO verdicts as a machine-readable JSON
 // document.
@@ -28,8 +29,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/server"
 )
 
@@ -43,9 +46,10 @@ const (
 	OpLineage   Op = "lineage"
 	OpPut       Op = "put"
 	OpDelete    Op = "delete"
+	OpStream    Op = "stream"
 )
 
-var allOps = []Op{OpReachable, OpBatch, OpLineage, OpPut, OpDelete}
+var allOps = []Op{OpReachable, OpBatch, OpLineage, OpPut, OpDelete, OpStream}
 
 // Mix weights the traffic classes. Weights are relative; zero disables
 // a class.
@@ -55,6 +59,7 @@ type Mix struct {
 	Lineage   int `json:"lineage"`
 	Put       int `json:"put"`
 	Delete    int `json:"delete"`
+	Stream    int `json:"stream"`
 }
 
 // DefaultMix is a read-heavy production-ish blend.
@@ -72,6 +77,8 @@ func (m Mix) weight(op Op) int {
 		return m.Put
 	case OpDelete:
 		return m.Delete
+	case OpStream:
+		return m.Stream
 	}
 	return 0
 }
@@ -112,6 +119,8 @@ func ParseMix(s string) (Mix, error) {
 			m.Put = w
 		case OpDelete:
 			m.Delete = w
+		case OpStream:
+			m.Stream = w
 		default:
 			return m, fmt.Errorf("mix: unknown class %q", key)
 		}
@@ -159,6 +168,13 @@ type Config struct {
 	WriteNames int
 	// BatchPairs is the number of pairs per /batch request. Default 16.
 	BatchPairs int
+	// StreamBatches is the pre-rendered event-batch script stream
+	// traffic cycles through: each client drives its own live run
+	// ("stream-<client>") by appending the batches in order, sealing the
+	// run with finish, deleting it, and starting over. Build it with
+	// SplitEventLog. Required when Stream has weight; the server must
+	// run with streaming enabled.
+	StreamBatches []StreamBatch
 	// Theta is the zipfian skew over Runs. Default 0.99.
 	Theta float64
 	// Seed makes client schedules and query choices deterministic.
@@ -312,6 +328,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if cfg.Mix.Put > 0 && len(cfg.PutBodies) == 0 {
 		return nil, errors.New("loadgen: put traffic weighted but Config.PutBodies is empty")
+	}
+	if cfg.Mix.Stream > 0 && len(cfg.StreamBatches) == 0 {
+		return nil, errors.New("loadgen: stream traffic weighted but Config.StreamBatches is empty")
 	}
 	client := cfg.Client
 	if client == nil {
@@ -473,6 +492,35 @@ func (es *EndpointStats) finish(elapsed time.Duration) {
 	}
 }
 
+// StreamBatch is one pre-rendered POST /runs/{name}/events body with
+// the offset it resumes at.
+type StreamBatch struct {
+	Offset int
+	Body   []byte
+}
+
+// SplitEventLog renders an engine event stream into per-append wire
+// bodies of per events each, carrying their resume offsets — the script
+// stream traffic replays against its live run.
+func SplitEventLog(evs []events.Event, per int) ([]StreamBatch, error) {
+	if per < 1 {
+		per = 1
+	}
+	var batches []StreamBatch
+	for start := 0; start < len(evs); start += per {
+		end := start + per
+		if end > len(evs) {
+			end = len(evs)
+		}
+		var buf bytes.Buffer
+		if err := events.WriteLog(&buf, evs[start:end]); err != nil {
+			return nil, err
+		}
+		batches = append(batches, StreamBatch{Offset: start, Body: buf.Bytes()})
+	}
+	return batches, nil
+}
+
 // worker is one simulated client.
 type worker struct {
 	cfg      *Config
@@ -482,7 +530,22 @@ type worker struct {
 	zipf     *Zipf
 	clientID string
 	putSeq   int
+
+	// Stream traffic is a per-client state machine over one live run:
+	// append the scripted batches in order, finish, delete, restart.
+	// The protocol is ordered, so at most one state-advancing stream
+	// request is in flight per client (streamBusy; extra arrivals read
+	// the run's status instead), and any failed step resets the machine
+	// to the delete step so the next cycle starts clean (streamFail).
+	// streamStep is only touched on the scheduling goroutine; the flags
+	// are shared with request goroutines, hence atomic.
+	streamStep int
+	streamBusy atomic.Bool
+	streamFail atomic.Bool
 }
+
+// streamName is this client's live run name.
+func (w *worker) streamName() string { return "stream-" + w.clientID }
 
 func (w *worker) pickOp() Op {
 	n := w.rng.Intn(w.cfg.Mix.total())
@@ -508,6 +571,10 @@ type request struct {
 	url         string
 	body        []byte
 	contentType string
+	// trackStream marks a state-advancing stream request: completion
+	// clears the worker's in-flight flag, and a failed outcome flags the
+	// state machine for reset.
+	trackStream bool
 }
 
 // exec issues one request, measures latency from send to body fully
@@ -545,6 +612,15 @@ func (w *worker) exec(ctx context.Context, op Op, r request) sample {
 		class = clsServerErr
 	case resp.StatusCode >= 400:
 		class = clsClientErr
+	}
+	if r.trackStream {
+		// Not-found is a clean outcome for the machine's delete step
+		// (nothing was streamed yet); anything else non-OK desyncs the
+		// offset cursor and forces a reset.
+		if class != clsOK && class != clsNotFound {
+			w.streamFail.Store(true)
+		}
+		w.streamBusy.Store(false)
 	}
 	return sample{op: op, ns: ns, class: class}
 }
@@ -586,6 +662,32 @@ func (w *worker) buildRequest(op Op) request {
 			body: body, contentType: "application/xml"}
 	case OpDelete:
 		return request{method: http.MethodDelete, url: w.base + "/runs/" + w.writeName()}
+	case OpStream:
+		name := w.streamName()
+		if w.streamBusy.Load() {
+			// The previous step is still in flight; ordered appends
+			// cannot overlap, so this arrival reads the run's status.
+			return request{method: http.MethodGet, url: w.base + "/runs/" + name}
+		}
+		if w.streamFail.Swap(false) {
+			w.streamStep = len(w.cfg.StreamBatches) + 1 // reset: delete, then restart
+		}
+		step := w.streamStep
+		w.streamStep = (step + 1) % (len(w.cfg.StreamBatches) + 2)
+		w.streamBusy.Store(true)
+		switch {
+		case step < len(w.cfg.StreamBatches):
+			b := w.cfg.StreamBatches[step]
+			return request{method: http.MethodPost,
+				url:  fmt.Sprintf("%s/runs/%s/events?offset=%d", w.base, name, b.Offset),
+				body: b.Body, contentType: "text/plain", trackStream: true}
+		case step == len(w.cfg.StreamBatches):
+			return request{method: http.MethodPost, url: w.base + "/runs/" + name + "/finish",
+				trackStream: true}
+		default:
+			return request{method: http.MethodDelete, url: w.base + "/runs/" + name,
+				trackStream: true}
+		}
 	}
 	panic("unreachable")
 }
@@ -665,7 +767,7 @@ func evaluateSLO(slo *SLO, rep *Report) *SLOReport {
 	}
 	if slo.WriteP99 > 0 {
 		limit := float64(slo.WriteP99.Microseconds())
-		for _, op := range []Op{OpPut, OpDelete} {
+		for _, op := range []Op{OpPut, OpDelete, OpStream} {
 			if actual, ok := p99(op); ok {
 				check(string(op)+"_p99_us", limit, actual, actual <= limit)
 			}

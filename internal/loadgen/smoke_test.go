@@ -29,23 +29,29 @@ func TestLoadSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Store: st, EnableIngest: true, CacheSize: 8})
+	srv, err := server.New(server.Config{Store: st, EnableIngest: true, EnableStream: true, CacheSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
+	batches, err := StreamEventBatches(sp, 80, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rep, err := Run(context.Background(), Config{
-		BaseURL:    ts.URL,
-		Clients:    4,
-		Rate:       200,
-		Duration:   1200 * time.Millisecond,
-		Runs:       corpus.Runs,
-		PutBodies:  corpus.PutBodies,
-		BatchPairs: 8,
-		Seed:       1,
-		SLO:        &SLO{ReadP99: 5 * time.Second, WriteP99: 5 * time.Second, MaxErrorRate: 0},
+		BaseURL:       ts.URL,
+		Clients:       4,
+		Rate:          200,
+		Duration:      1200 * time.Millisecond,
+		Mix:           Mix{Reachable: 55, Batch: 15, Lineage: 5, Put: 8, Delete: 2, Stream: 15},
+		Runs:          corpus.Runs,
+		PutBodies:     corpus.PutBodies,
+		StreamBatches: batches,
+		BatchPairs:    8,
+		Seed:          1,
+		SLO:           &SLO{ReadP99: 5 * time.Second, WriteP99: 5 * time.Second, MaxErrorRate: 0},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +63,7 @@ func TestLoadSmoke(t *testing.T) {
 	if rep.Total.ServerErrors != 0 || rep.Total.NetErrors != 0 {
 		t.Fatalf("errors against a healthy server: 5xx=%d net=%d", rep.Total.ServerErrors, rep.Total.NetErrors)
 	}
-	for _, op := range []string{"reachable", "batch"} {
+	for _, op := range []string{"reachable", "batch", "stream"} {
 		es := rep.Endpoints[op]
 		if es == nil || es.Requests == 0 {
 			t.Fatalf("%s saw no traffic under the default mix", op)

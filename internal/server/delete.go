@@ -23,9 +23,9 @@ import (
 // in flight from landing its pre-delete result in the cache.
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.ingest {
+	if !s.ingest && !s.stream {
 		writeErr(w, http.StatusForbidden,
-			"deletion is disabled on this server (start it with ingest enabled to accept DELETE /runs)")
+			"deletion is disabled on this server (start it with ingest or streaming enabled to accept DELETE /runs)")
 		return
 	}
 	name := r.PathValue("name")
@@ -54,12 +54,23 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // partway (fs removes the document first; shard stops mid-children), so
 // a cached session could otherwise keep answering for a run that is
 // already gone from the store.
+// On a streaming server the delete also aborts any live session and
+// clears the run's durable stream state: a run being streamed but never
+// finished has no stored blobs, so DeleteRun reports ErrNotExist — that
+// is still a successful delete when stream state existed.
 func (s *Server) deleteRun(name string) error {
 	mu := s.runMu.forName(name)
 	mu.Lock()
 	defer mu.Unlock()
+	hadStream := false
+	if s.stream {
+		hadStream = s.clearStreamState(name)
+	}
 	err := s.st.DeleteRun(name)
 	s.cache.Invalidate(name)
+	if hadStream && errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
 	return err
 }
 
@@ -83,6 +94,11 @@ func (s *Server) deleteIdleRun(name string) (bool, error) {
 	s.ingestingMu.Unlock()
 	if busy {
 		return false, nil
+	}
+	if s.stream {
+		// Clear any leftover stream state too, so a retention-deleted run
+		// cannot be resurrected as a zombie live session from a stale log.
+		s.clearStreamState(name)
 	}
 	err := s.st.DeleteRun(name)
 	s.cache.Invalidate(name)

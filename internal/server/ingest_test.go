@@ -175,9 +175,10 @@ func TestIngestRejections(t *testing.T) {
 		}
 	}
 
-	// GET on an ingest path is a method mismatch, not a silent 404.
-	if rec := do(t, s, "GET", "/runs/ok", "", nil); rec.Code != 405 {
-		t.Errorf("GET /runs/ok = %d, want 405", rec.Code)
+	// GET on a run path is the status endpoint: 404 for a run that does
+	// not exist, not a method mismatch.
+	if rec := do(t, s, "GET", "/runs/nosuch", "", nil); rec.Code != 404 {
+		t.Errorf("GET /runs/nosuch = %d, want 404", rec.Code)
 	}
 
 	// A read-only server refuses the write path outright.

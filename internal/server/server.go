@@ -20,7 +20,16 @@
 //	                           (requires Config.EnableIngest)
 //	DELETE /runs/{name}        remove a stored run and its label snapshot;
 //	                           the very next query for it answers 404
-//	                           (requires Config.EnableIngest)
+//	                           (requires Config.EnableIngest or
+//	                           Config.EnableStream; with streaming it also
+//	                           aborts a live stream under the name)
+//	GET  /runs/{name}          one run's status: live streaming progress or
+//	                           finished-run label statistics
+//	POST /runs/{name}/events   append a batch of engine events to a live
+//	                           run at an explicit offset; idempotent resume,
+//	                           409 on gap or conflict (requires
+//	                           Config.EnableStream; see stream.go)
+//	POST /runs/{name}/finish   seal a live run into a stored, labeled run
 //	GET  /reachable?run=R&from=U&to=V
 //	                           one reachability query
 //	POST /batch                {"run":R,"pairs":[[U,V],...]} -> {"results":[...]}
@@ -70,6 +79,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/label"
 	"repro/internal/lineage"
+	"repro/internal/live"
 	"repro/internal/run"
 	"repro/internal/store"
 )
@@ -100,6 +110,18 @@ type Config struct {
 	EnableIngest bool
 	// MaxIngestBytes bounds one ingest request body. Defaults to 16 MiB.
 	MaxIngestBytes int64
+	// EnableStream turns on the streaming ingest subsystem: POST
+	// /runs/{name}/events appends engine events to a live per-run
+	// session labeled online, POST /runs/{name}/finish seals it into a
+	// normal stored run, and queries answer against live sessions
+	// transparently (see stream.go). Independent of EnableIngest: a
+	// server may accept streams but not documents, or vice versa.
+	EnableStream bool
+	// CheckpointEvery bounds how many events a live session applies
+	// between checkpoints — the replay debt a crash can accumulate.
+	// 0 defaults to 256; negative disables periodic checkpointing
+	// (recovery then replays the whole event log).
+	CheckpointEvery int
 	// MaxRuns, when positive, bounds how many runs the store may hold:
 	// after each successful ingest the retention sweep deletes
 	// least-valuable runs (cold before cached, cached in LRU order —
@@ -144,6 +166,14 @@ type Server struct {
 	adm            *admission
 	mux            *http.ServeMux
 
+	// Streaming ingest state (nil/zero unless Config.EnableStream):
+	// the live-session registry, the skeleton labeling feeding online
+	// labelers, and the checkpoint cadence. See stream.go.
+	stream     bool
+	ckptEvery  int
+	live       *live.Registry
+	streamSkel label.Labeling
+
 	// ingesting refcounts run names with a PUT handler in flight, from
 	// before the document decodes until the response is written. The
 	// retention sweep never victimizes these: without it, a concurrent
@@ -160,7 +190,8 @@ type Server struct {
 // run to cross-check its client-side counts: under overload, responses
 // lost in transit appear as a gap between served and completed.
 type servedCounters struct {
-	healthz, specs, runs, reachable, batch, lineage, ingest, delete, other atomic.Int64
+	healthz, specs, runs, reachable, batch, lineage, ingest, delete atomic.Int64
+	events, finish, status, other                                   atomic.Int64
 }
 
 // counterFor maps one request to its endpoint counter.
@@ -179,11 +210,17 @@ func (c *servedCounters) counterFor(r *http.Request) *atomic.Int64 {
 	case r.URL.Path == "/lineage":
 		return &c.lineage
 	case strings.HasPrefix(r.URL.Path, "/runs/"):
-		switch r.Method {
-		case http.MethodPut:
+		switch {
+		case r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/events"):
+			return &c.events
+		case r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/finish"):
+			return &c.finish
+		case r.Method == http.MethodPut:
 			return &c.ingest
-		case http.MethodDelete:
+		case r.Method == http.MethodDelete:
 			return &c.delete
+		case r.Method == http.MethodGet:
+			return &c.status
 		}
 	}
 	return &c.other
@@ -199,6 +236,9 @@ func (c *servedCounters) snapshot() map[string]int64 {
 		"lineage":   c.lineage.Load(),
 		"put":       c.ingest.Load(),
 		"delete":    c.delete.Load(),
+		"events":    c.events.Load(),
+		"finish":    c.finish.Load(),
+		"status":    c.status.Load(),
 		"other":     c.other.Load(),
 	}
 }
@@ -235,6 +275,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 64
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 256
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.MaxInflight
 	}
@@ -258,11 +301,24 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.ingesting = make(map[string]int)
 	s.cache = newSessionCache(cfg.CacheSize, s.load)
+	if cfg.EnableStream {
+		skel, err := cfg.Store.Skeleton(s.scheme)
+		if err != nil {
+			return nil, fmt.Errorf("server: building skeleton labeling for streaming: %w", err)
+		}
+		s.stream = true
+		s.ckptEvery = cfg.CheckpointEvery
+		s.streamSkel = skel
+		s.live = live.NewRegistry()
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/specs", s.handleSpecs)
 	s.mux.HandleFunc("/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /runs/{name}", s.handleRunStatus)
 	s.mux.HandleFunc("PUT /runs/{name}", s.handleIngest)
 	s.mux.HandleFunc("DELETE /runs/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /runs/{name}/events", s.handleAppendEvents)
+	s.mux.HandleFunc("POST /runs/{name}/finish", s.handleFinish)
 	s.mux.HandleFunc("/reachable", s.handleReachable)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/lineage", s.handleLineage)
@@ -434,16 +490,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"spec":      s.st.SpecName(),
 		"scheme":    s.scheme.Name(),
 		"ingest":    s.ingest,
+		"stream":    s.stream,
 		"store":     s.st.Stat(),
 		"cache":     s.cache.Stats(),
 		"admission": s.adm.Stats(),
 		"served":    s.served.snapshot(),
-	})
+	}
+	if s.stream {
+		body["live"] = s.live.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
@@ -480,24 +541,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
 		return
 	}
-	sess, ok := s.session(w, name)
-	if !ok {
-		return
-	}
-	items := 0
-	if sess.Data != nil {
-		items = len(sess.Data.Items)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"run":              name,
-		"vertices":         sess.Run.NumVertices(),
-		"edges":            sess.Run.NumEdges(),
-		"data_items":       items,
-		"max_label_bits":   sess.Labels.MaxLabelBits(),
-		"avg_label_bits":   sess.Labels.AvgLabelBits(),
-		"snapshot_version": sess.SnapshotVersion.String(),
-		"snapshot_bytes":   sess.SnapshotBytes,
-	})
+	s.writeRunStatus(w, name)
 }
 
 func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
@@ -505,17 +549,27 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	sess, ok := s.session(w, q.Get("run"))
+	ls, release, sess, ok := s.resolveRun(w, q.Get("run"))
 	if !ok {
 		return
+	}
+	if ls != nil {
+		defer release()
 	}
 	from, to := q.Get("from"), q.Get("to")
 	if from == "" || to == "" {
 		writeErr(w, http.StatusBadRequest, "missing 'from' or 'to' parameter")
 		return
 	}
-	u, okU := sess.vertex(from)
-	v, okV := sess.vertex(to)
+	var u, v dag.VertexID
+	var okU, okV bool
+	if ls != nil {
+		u, okU = ls.Vertex(from)
+		v, okV = ls.Vertex(to)
+	} else {
+		u, okU = sess.vertex(from)
+		v, okV = sess.vertex(to)
+	}
 	if !okU || !okV {
 		bad := from
 		if okU {
@@ -524,12 +578,18 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown vertex %q", bad)
 		return
 	}
+	var reach, byCtx bool
+	if ls != nil {
+		reach, byCtx = ls.Reachable(u, v), ls.ByContext(u, v)
+	} else {
+		reach, byCtx = sess.Labels.Reachable(u, v), sess.Labels.AnsweredByContext(u, v)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"run":        q.Get("run"),
 		"from":       from,
 		"to":         to,
-		"reachable":  sess.Labels.Reachable(u, v),
-		"by_context": sess.Labels.AnsweredByContext(u, v),
+		"reachable":  reach,
+		"by_context": byCtx,
 	})
 }
 
@@ -560,13 +620,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "malformed request body: %v", err)
 		return
 	}
-	sess, ok := s.session(w, string(sc.run))
+	ls, release, sess, ok := s.resolveRun(w, string(sc.run))
 	if !ok {
 		return
 	}
+	if ls != nil {
+		defer release()
+	}
 	for i := range sc.tokens {
-		u, okU := sess.vertexToken(sc.tokens[i][0])
-		v, okV := sess.vertexToken(sc.tokens[i][1])
+		var u, v dag.VertexID
+		var okU, okV bool
+		if ls != nil {
+			u, okU = liveVertexToken(ls, sc.tokens[i][0])
+			v, okV = liveVertexToken(ls, sc.tokens[i][1])
+		} else {
+			u, okU = sess.vertexToken(sc.tokens[i][0])
+			v, okV = sess.vertexToken(sc.tokens[i][1])
+		}
 		if !okU || !okV {
 			bad := sc.tokens[i][0].raw
 			if okU {
@@ -577,9 +647,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		sc.pairs = append(sc.pairs, [2]dag.VertexID{u, v})
 	}
-	// The hot path: evaluation and encoding run entirely in the pooled
-	// scratch, fanning out across CPUs for large batches.
-	sc.results = sess.Labels.AppendReachableBatch(sc.results, sc.pairs, s.batchPar)
+	if ls != nil {
+		// Live sessions answer sequentially: the online labeler is
+		// mutable state under the run lock, not a parallel-safe snapshot.
+		for _, p := range sc.pairs {
+			sc.results = append(sc.results, ls.Reachable(p[0], p[1]))
+		}
+	} else {
+		// The hot path: evaluation and encoding run entirely in the pooled
+		// scratch, fanning out across CPUs for large batches.
+		sc.results = sess.Labels.AppendReachableBatch(sc.results, sc.pairs, s.batchPar)
+	}
 	sc.out = appendBatchResponse(sc.out, sc.run, sc.results)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -591,16 +669,25 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	sess, ok := s.session(w, q.Get("run"))
+	ls, release, sess, ok := s.resolveRun(w, q.Get("run"))
 	if !ok {
 		return
+	}
+	if ls != nil {
+		defer release()
 	}
 	ref := q.Get("vertex")
 	if ref == "" {
 		writeErr(w, http.StatusBadRequest, "missing 'vertex' parameter")
 		return
 	}
-	v, okV := sess.vertex(ref)
+	var v dag.VertexID
+	var okV bool
+	if ls != nil {
+		v, okV = ls.Vertex(ref)
+	} else {
+		v, okV = sess.vertex(ref)
+	}
 	if !okV {
 		writeErr(w, http.StatusNotFound, "unknown vertex %q", ref)
 		return
@@ -610,16 +697,28 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 	switch dir {
 	case "", "up":
 		dir = "up"
-		cone = lineage.UpstreamByLabels(sess.Labels, v)
+		if ls != nil {
+			cone = ls.Upstream(v)
+		} else {
+			cone = lineage.UpstreamByLabels(sess.Labels, v)
+		}
 	case "down":
-		cone = lineage.DownstreamByLabels(sess.Labels, v)
+		if ls != nil {
+			cone = ls.Downstream(v)
+		} else {
+			cone = lineage.DownstreamByLabels(sess.Labels, v)
+		}
 	default:
 		writeErr(w, http.StatusBadRequest, "dir must be 'up' or 'down', got %q", dir)
 		return
 	}
 	names := make([]string, len(cone))
 	for i, u := range cone {
-		names[i] = sess.namer.Name(u)
+		if ls != nil {
+			names[i] = ls.Name(u)
+		} else {
+			names[i] = sess.namer.Name(u)
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"run":       q.Get("run"),

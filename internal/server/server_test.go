@@ -665,7 +665,10 @@ func TestServedCounters(t *testing.T) {
 	do(t, s, http.MethodGet, "/lineage?run=alpha&vertex=0&dir=down", "", nil)
 	// A rejected method still counts: the counter tracks dispatch, not
 	// success.
-	do(t, s, http.MethodDelete, "/runs/alpha", "", nil) // 403: ingest off
+	do(t, s, http.MethodDelete, "/runs/alpha", "", nil)      // 403: ingest off
+	do(t, s, http.MethodGet, "/runs/alpha", "", nil)         // status endpoint
+	do(t, s, http.MethodPost, "/runs/alpha/events", "", nil) // 403: stream off
+	do(t, s, http.MethodPost, "/runs/alpha/finish", "", nil) // 403: stream off
 
 	var health struct {
 		Served map[string]int64 `json:"served"`
@@ -674,6 +677,7 @@ func TestServedCounters(t *testing.T) {
 	want := map[string]int64{
 		"reachable": 2, "batch": 1, "runs": 1, "specs": 1,
 		"lineage": 1, "delete": 1, "healthz": 1, "put": 0, "other": 0,
+		"status": 1, "events": 1, "finish": 1,
 	}
 	for k, v := range want {
 		if health.Served[k] != v {

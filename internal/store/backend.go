@@ -42,6 +42,22 @@ import "io"
 // other goroutines read or write that same name races like overwrite
 // does: the caller serializes same-name delete/read/write; distinct
 // names never interfere.
+//
+// Event logs are a third, independent per-run blob: an append-only
+// record of the streaming events that built a live run, written batch
+// by batch before each batch is acknowledged. AppendEventLog must make
+// the appended bytes durable before returning (it is the streaming
+// write-ahead log; crash recovery replays it), must never interleave
+// two appends to the same name partially (same-name appends are
+// caller-serialized like WriteRun, but a crashed append may leave a
+// torn tail — readers must tolerate a final partial record), and must
+// not retain the slice. ReadEventLog streams everything appended so
+// far; a name never appended returns fs.ErrNotExist. DeleteEventLog
+// removes the log; deleting a log that does not exist is a no-op (nil),
+// because log deletion is cleanup — callers fire it after a finish or a
+// run delete without caring whether streaming was ever used. Event logs
+// are invisible to ListRuns and independent of the run/labels pair:
+// writing or deleting one side never touches the other.
 type Backend interface {
 	// ReadSpec streams the stored specification document.
 	ReadSpec() (io.ReadCloser, error)
@@ -62,6 +78,15 @@ type Backend interface {
 	DeleteRun(name string) error
 	// ListRuns returns the stored run names, sorted ascending.
 	ListRuns() ([]string, error)
+	// AppendEventLog durably appends data to the named run's event log,
+	// creating the log if needed (see the contract above).
+	AppendEventLog(name string, data []byte) error
+	// ReadEventLog streams the named run's event log. A log never
+	// appended returns an error satisfying errors.Is(err, fs.ErrNotExist).
+	ReadEventLog(name string) (io.ReadCloser, error)
+	// DeleteEventLog removes the named run's event log; removing a
+	// nonexistent log is a successful no-op.
+	DeleteEventLog(name string) error
 	// ReadMeta streams a small named metadata blob (e.g. the serving
 	// layer's hot-session list). Meta names are dot-prefixed (see
 	// ValidMetaName), which keeps them disjoint from run names on every

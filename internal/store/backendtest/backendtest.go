@@ -388,6 +388,76 @@ func Run(t *testing.T, newBackend Factory) {
 
 	t.Run("DeleteRun", func(t *testing.T) { DeleteRunConformance(t, newBackend) })
 
+	t.Run("EventLog", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+
+		// Never appended: reads miss with fs.ErrNotExist, deletes no-op.
+		if _, err := readErr(b.ReadEventLog("live")); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("ReadEventLog(never-appended) = %v, want fs.ErrNotExist", err)
+		}
+		if err := b.DeleteEventLog("live"); err != nil {
+			t.Fatalf("DeleteEventLog(never-appended) = %v, want nil no-op", err)
+		}
+
+		// Appends accumulate in order and do not retain the caller's buffer.
+		first := []byte("exec a copy 0\n")
+		if err := b.AppendEventLog("live", first); err != nil {
+			t.Fatal(err)
+		}
+		copy(first, "XXXX")
+		if err := b.AppendEventLog("live", []byte("exec b copy 0\n")); err != nil {
+			t.Fatal(err)
+		}
+		want := "exec a copy 0\nexec b copy 0\n"
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadEventLog("live") }); string(got) != want {
+			t.Fatalf("ReadEventLog after two appends = %q, want %q", got, want)
+		}
+
+		// Event logs are invisible to listings and independent of the run
+		// pair: a log under a name with no stored run never lists, and
+		// writing or deleting the pair leaves the log untouched.
+		if names, err := b.ListRuns(); err != nil || len(names) != 0 {
+			t.Fatalf("ListRuns with only an event log = %v, %v; want empty", names, err)
+		}
+		if err := b.WriteRun("live", []byte("doc"), []byte("skl")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.DeleteRun("live"); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadEventLog("live") }); string(got) != want {
+			t.Fatalf("ReadEventLog after run delete = %q, want %q (DeleteRun touched the log)", got, want)
+		}
+
+		// Delete removes the log; a second delete stays a no-op; a fresh
+		// append restarts from empty.
+		if err := b.DeleteEventLog("live"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readErr(b.ReadEventLog("live")); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("ReadEventLog after delete = %v, want fs.ErrNotExist", err)
+		}
+		if err := b.DeleteEventLog("live"); err != nil {
+			t.Fatalf("second DeleteEventLog = %v, want nil no-op", err)
+		}
+		if err := b.AppendEventLog("live", []byte("fresh\n")); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadEventLog("live") }); string(got) != "fresh\n" {
+			t.Fatalf("ReadEventLog after restart = %q, want %q", got, "fresh\n")
+		}
+
+		// Distinct names never interfere.
+		if err := b.AppendEventLog("other", []byte("other-log\n")); err != nil {
+			t.Fatal(err)
+		}
+		if got := read(t, func() (io.ReadCloser, error) { return b.ReadEventLog("live") }); string(got) != "fresh\n" {
+			t.Fatalf("ReadEventLog(live) after appending to other = %q", got)
+		}
+	})
+
 	t.Run("Stat", func(t *testing.T) {
 		b := newBackend(t)
 		defer b.Close()

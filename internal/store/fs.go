@@ -183,6 +183,57 @@ func (b *fsBackend) sweepOrphans() {
 	}
 }
 
+// Event logs live as runs/<name>.evlog, a suffix neither ListRuns
+// (.xml) nor the orphan sweep (.skl) matches, so a live run's log can
+// exist for as long as the stream does without being listed or swept.
+// AppendEventLog is the streaming WAL write: open O_APPEND, write,
+// fsync — the bytes are on stable storage before the batch is
+// acknowledged. The containing directory is fsynced only when the
+// append creates the log (file creation is a directory mutation;
+// appends to an existing file are not), so steady-state appends cost
+// one write + one file fsync.
+func (b *fsBackend) AppendEventLog(name string, data []byte) error {
+	if err := os.MkdirAll(filepath.Join(b.dir, "runs"), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := b.runPath(name, ".evlog")
+	_, statErr := os.Stat(path)
+	created := errors.Is(statErr, fs.ErrNotExist)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if created {
+		return syncDir(filepath.Join(b.dir, "runs"))
+	}
+	return nil
+}
+
+func (b *fsBackend) ReadEventLog(name string) (io.ReadCloser, error) {
+	return b.openBlob(name, ".evlog")
+}
+
+func (b *fsBackend) DeleteEventLog(name string) error {
+	if err := os.Remove(b.runPath(name, ".evlog")); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(filepath.Join(b.dir, "runs"))
+}
+
 // Meta blobs live as dot-prefixed files in the store's root directory
 // (next to spec.xml), so they can never collide with run blobs under
 // runs/ and never appear in ListRuns.

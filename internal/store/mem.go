@@ -19,6 +19,7 @@ type memBackend struct {
 	spec   []byte
 	runs   map[string]memRun
 	metas  map[string][]byte
+	evlogs map[string][]byte
 	closed bool
 }
 
@@ -28,7 +29,11 @@ type memRun struct {
 
 // NewMemBackend returns an empty in-memory backend.
 func NewMemBackend() Backend {
-	return &memBackend{runs: make(map[string]memRun), metas: make(map[string][]byte)}
+	return &memBackend{
+		runs:   make(map[string]memRun),
+		metas:  make(map[string][]byte),
+		evlogs: make(map[string][]byte),
+	}
 }
 
 func (b *memBackend) ReadSpec() (io.ReadCloser, error) {
@@ -133,6 +138,41 @@ func (b *memBackend) WriteMeta(name string, data []byte) error {
 	return nil
 }
 
+// Event logs live in their own map, independent of the run pair and
+// invisible to ListRuns. Appends grow the stored slice under the write
+// lock; readers capture the slice at its current length, and growth
+// either reallocates or writes past that length, so a reader never
+// observes bytes from an append that started after its ReadEventLog.
+func (b *memBackend) AppendEventLog(name string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("store: mem backend is closed")
+	}
+	b.evlogs[name] = append(b.evlogs[name], data...)
+	return nil
+}
+
+func (b *memBackend) ReadEventLog(name string) (io.ReadCloser, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	log, ok := b.evlogs[name]
+	if !ok {
+		return nil, fmt.Errorf("store: mem event log %q: %w", name, fs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(log)), nil
+}
+
+func (b *memBackend) DeleteEventLog(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("store: mem backend is closed")
+	}
+	delete(b.evlogs, name)
+	return nil
+}
+
 func (b *memBackend) ListRuns() ([]string, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -157,5 +197,6 @@ func (b *memBackend) Close() error {
 	b.spec = nil
 	b.runs = make(map[string]memRun)
 	b.metas = make(map[string][]byte)
+	b.evlogs = make(map[string][]byte)
 	return nil
 }

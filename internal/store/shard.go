@@ -99,6 +99,21 @@ func (b *shardBackend) DeleteRun(name string) error {
 	return nil
 }
 
+// Event logs are keyed by run name like the run pair, so they route to
+// the owning child — the log lands next to where the finished run's
+// blobs will.
+func (b *shardBackend) AppendEventLog(name string, data []byte) error {
+	return b.child(name).AppendEventLog(name, data)
+}
+
+func (b *shardBackend) ReadEventLog(name string) (io.ReadCloser, error) {
+	return b.child(name).ReadEventLog(name)
+}
+
+func (b *shardBackend) DeleteEventLog(name string) error {
+	return b.child(name).DeleteEventLog(name)
+}
+
 // Meta blobs are store-wide (not keyed by run name), so they replicate
 // to every child like the spec and read from the first — the same rule
 // that keeps each shard independently openable.

@@ -159,6 +159,15 @@ func (st *Store) Stat() Stats { return st.backend.Stat() }
 // Close releases the backend's resources.
 func (st *Store) Close() error { return st.backend.Close() }
 
+// Skeleton returns the store's cached specification labeling for the
+// scheme, building it on first use — the same labeling PutRun and
+// OpenRun bind, exported so layers labeling outside the store (the
+// streaming ingest path's online labeler) share one skeleton per
+// scheme instead of rebuilding it.
+func (st *Store) Skeleton(scheme label.Scheme) (label.Labeling, error) {
+	return st.skeleton(scheme)
+}
+
 // skeleton returns the cached specification labeling for the scheme,
 // building it on first use.
 func (st *Store) skeleton(scheme label.Scheme) (label.Labeling, error) {
@@ -267,6 +276,37 @@ func (st *Store) DeleteRun(name string) error {
 		return err
 	}
 	return st.backend.DeleteRun(name)
+}
+
+// AppendRunEvents durably appends rendered event-log bytes to the named
+// run's event log — the streaming ingest write-ahead step: the serving
+// layer appends each accepted batch here before applying it, so crash
+// recovery can rebuild the live session. Same-name appends race and are
+// the caller's to serialize, like every same-name write in this package.
+func (st *Store) AppendRunEvents(name string, data []byte) error {
+	if err := ValidRunName(name); err != nil {
+		return err
+	}
+	return st.backend.AppendEventLog(name, data)
+}
+
+// ReadRunEvents streams the named run's event log; a run never streamed
+// to returns an error satisfying errors.Is(err, fs.ErrNotExist).
+func (st *Store) ReadRunEvents(name string) (io.ReadCloser, error) {
+	if err := ValidRunName(name); err != nil {
+		return nil, err
+	}
+	return st.backend.ReadEventLog(name)
+}
+
+// DeleteRunEvents removes the named run's event log; removing a log
+// that does not exist is a successful no-op (log deletion is cleanup
+// after a finish or a run delete).
+func (st *Store) DeleteRunEvents(name string) error {
+	if err := ValidRunName(name); err != nil {
+		return err
+	}
+	return st.backend.DeleteEventLog(name)
 }
 
 // Session is a loaded run ready for querying: stored labels bound to the
