@@ -10,9 +10,9 @@ ADDR ?= :8080
 # perf lineage cmd/benchtrend renders and gates on. Bump it (and check
 # in a fresh baseline: `make bench-json` with the old number, then move
 # the "benches" map into bench/BASELINE_<new>.json) once per PR.
-PR ?= 7
+PR ?= 8
 
-.PHONY: build test race bench bench-store bench-json trend load-smoke fmt vet serve ci
+.PHONY: build test race bench bench-store bench-json trend load-smoke chaos-smoke fmt vet serve ci
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,20 @@ load-smoke:
 		-slo-error-rate 0 -fail-on-slo -quiet -report PROVLOAD.json
 	@echo "load-smoke: report in PROVLOAD.json"
 
+# Chaos smoke: the in-process chaos suite (concurrent traffic over a
+# fault-injected backend, then a differential check against a
+# fault-free twin) plus a short provload run over a fault:// store with
+# retries — asserting the read SLO and a zero error rate survive ~5%
+# injected transient faults.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos' .
+	$(GO) run ./cmd/provload -store 'fault://rate=0.05,seed=1/mem:' -retry 4 \
+		-runs 16 -run-size 250 -clients 6 \
+		-mix reachable=55,batch=15,lineage=5,put=8,delete=2,stream=15 \
+		-rate 250 -duration 3s -slo-read-p99 500ms -slo-write-p99 2s \
+		-slo-error-rate 0 -fail-on-slo -quiet -report CHAOS_LOAD.json
+	@echo "chaos-smoke: report in CHAOS_LOAD.json"
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -74,4 +88,4 @@ vet:
 serve:
 	$(GO) run ./cmd/provserve -store $(STORE) -addr $(ADDR)
 
-ci: fmt vet build race bench bench-store load-smoke
+ci: fmt vet build race bench bench-store load-smoke chaos-smoke

@@ -19,6 +19,9 @@ import (
 	"repro/internal/server"
 	"repro/internal/spec"
 	"repro/internal/store"
+	// Registers the fault:// store URL scheme (chaos-testing backend
+	// wrapper), so OpenStoreURL and every CLI accept it.
+	_ "repro/internal/store/faultinject"
 	"repro/internal/workload"
 	"repro/internal/xmlio"
 )
@@ -89,6 +92,8 @@ type (
 	StoreBackend = store.Backend
 	// StoreStats describes a store's backend (kind, path, shard children).
 	StoreStats = store.Stats
+	// StoreRetryPolicy tunes WithRetryBackend's backoff.
+	StoreRetryPolicy = store.RetryPolicy
 	// QueryServer is a concurrent HTTP provenance query service over a
 	// Store, with an LRU session cache, a batched query endpoint, an
 	// optional write path (PUT and DELETE /runs/{name}, with
@@ -104,6 +109,10 @@ type (
 	// ServerAdmissionStats reports the query server's admission-control
 	// counters (inflight/queued gauges, 429 reject counts).
 	ServerAdmissionStats = server.AdmissionStats
+	// ServerBreakerStats reports the query server's circuit-breaker state
+	// (closed / open-degraded, strike and probe counters) as surfaced in
+	// /healthz.
+	ServerBreakerStats = server.BreakerStats
 )
 
 // Specification labeling schemes (Section 7).
@@ -353,6 +362,20 @@ func NewStoreOverBackend(b StoreBackend, s *Spec, name string) (*Store, error) {
 
 // OpenStoreOverBackend loads an existing store from any StoreBackend.
 func OpenStoreOverBackend(b StoreBackend) (*Store, error) { return store.OpenBackend(b) }
+
+// WithRetryBackend wraps a backend so transient failures (see
+// IsTransientStoreError) are retried with jittered exponential backoff
+// before the caller ever sees them. The zero policy means 4 attempts
+// from 2ms up to 250ms. Non-transient errors and exhausted budgets pass
+// through unchanged; cmd/provserve's -retry flag is this wrapper.
+func WithRetryBackend(b StoreBackend, p StoreRetryPolicy) StoreBackend {
+	return store.WithRetry(b, p)
+}
+
+// IsTransientStoreError reports whether a store error is transient —
+// safe to retry by the backend failure contract (no partial side effect
+// on the failed call). See the failure model on StoreBackend.
+func IsTransientStoreError(err error) bool { return store.IsTransient(err) }
 
 // NewServer builds a provenance query server (an http.Handler) over an
 // opened store. See cmd/provserve for the standalone daemon.

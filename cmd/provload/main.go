@@ -52,6 +52,7 @@ import (
 	"repro/internal/label"
 	"repro/internal/loadgen"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -75,6 +76,8 @@ func main() {
 		maxOut   = flag.Int("max-outstanding", 0, "cap on in-flight requests (harness self-protection; 0 = 4*clients)")
 		wnames   = flag.Int("write-names", 32, "writable name pool size for PUT/DELETE traffic")
 
+		retry       = flag.Int("retry", 0, "self-serve mode: retry transient backend errors up to this many attempts (pairs with fault:// store URLs)")
+		brkThresh   = flag.Int("breaker-threshold", 0, "self-serve mode: server circuit-breaker threshold (0 = default 5, negative disables)")
 		cacheSize   = flag.Int("cache", 16, "self-serve mode: server session-cache size")
 		maxInflight = flag.Int("max-inflight", 64, "self-serve mode: server admission bound")
 		queueDepth  = flag.Int("queue-depth", 0, "self-serve mode: server admission queue (0 = 2*max-inflight)")
@@ -151,6 +154,14 @@ func main() {
 		if err != nil {
 			fatalf("opening store %s: %v", *storeU, err)
 		}
+		if *retry > 0 {
+			// Wrap before corpus building so it, too, rides the retry
+			// layer — a fault:// store injects from the moment it opens.
+			st, err = store.OpenBackend(store.WithRetry(st.Backend(), store.RetryPolicy{MaxAttempts: *retry}))
+			if err != nil {
+				fatalf("reopening store with retry: %v", err)
+			}
+		}
 		defer st.Close()
 		var corpus *loadgen.Corpus
 		if created {
@@ -178,14 +189,15 @@ func main() {
 			logf = nil
 		}
 		srv, err := server.New(server.Config{
-			Store:         st,
-			CacheSize:     *cacheSize,
-			EnableIngest:  needWrite,
-			EnableStream:  needStream,
-			MaxInflight:   *maxInflight,
-			QueueDepth:    *queueDepth,
-			RatePerClient: *rateLimit,
-			Logf:          logf,
+			Store:            st,
+			CacheSize:        *cacheSize,
+			EnableIngest:     needWrite,
+			EnableStream:     needStream,
+			MaxInflight:      *maxInflight,
+			QueueDepth:       *queueDepth,
+			RatePerClient:    *rateLimit,
+			BreakerThreshold: *brkThresh,
+			Logf:             logf,
 		})
 		if err != nil {
 			fatalf("%v", err)

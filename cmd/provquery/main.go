@@ -54,11 +54,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -81,6 +84,7 @@ func main() {
 		deleteURL   = flag.String("delete", "", "provserve base URL: DELETE the stored run named by -run from the server")
 		appendURL   = flag.String("append", "", "provserve base URL: stream the event log at -run to the server (POST /runs/{name}/events)")
 		appendBatch = flag.Int("batch", 64, "events per request for -append")
+		appendRetry = flag.Int("retries", 8, "transient failures (503/429/network) tolerated across one -append, with capped backoff and cursor resync")
 		finishURL   = flag.String("finish", "", "provserve base URL: seal the live run named by -run (POST /runs/{name}/finish)")
 	)
 	flag.Parse()
@@ -102,7 +106,7 @@ func main() {
 		if *runPath == "" {
 			fatalf("-append needs -run <event log file>")
 		}
-		appendEvents(*appendURL, *runPath, *putAs, *appendBatch)
+		appendEvents(*appendURL, *runPath, *putAs, *appendBatch, *appendRetry)
 		return
 	}
 	if *finishURL != "" {
@@ -340,7 +344,46 @@ func putRun(baseURL, path, name, from, to string) {
 // offset cursor. It first asks the server where the stream stands
 // (GET /runs/{name}), so rerunning after a crash or lost response
 // resumes from the applied sequence instead of re-sending everything.
-func appendEvents(baseURL, path, name string, batch int) {
+// liveStatus asks the server where the named run stands: (seq, true)
+// for a live stream, (0, false) for an unknown run, and an error for
+// anything else — a finished run, an unreachable server. It seeds the
+// append cursor and resyncs it after a retried outage.
+func liveStatus(base, name string) (int, bool, error) {
+	resp, err := http.Get(base + "/runs/" + url.PathEscape(name))
+	if err != nil {
+		return 0, false, err
+	}
+	var status struct {
+		Status string `json:"status"`
+		Events int    `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK && err == nil && status.Status == "live":
+		return status.Events, true, nil
+	case resp.StatusCode == http.StatusOK && err == nil:
+		return 0, false, fmt.Errorf("run %q is already finished", name)
+	case resp.StatusCode == http.StatusNotFound:
+		return 0, false, nil
+	default:
+		return 0, false, fmt.Errorf("GET /runs/%s: status %d", name, resp.StatusCode)
+	}
+}
+
+// transientAppend classifies one failed POST as retryable: a network
+// error, or the server shedding load (503 degraded mode, 429 admission
+// control) — exactly the failures where backing off and resending the
+// same offsets is safe, because an unacknowledged append applied
+// nothing (the store's transient contract) and an acknowledged one is
+// idempotent to resend.
+func transientAppend(err error, statusCode int) bool {
+	return err != nil ||
+		statusCode == http.StatusServiceUnavailable ||
+		statusCode == http.StatusTooManyRequests
+}
+
+func appendEvents(baseURL, path, name string, batch, retries int) {
 	if name == "" {
 		name = strings.TrimSuffix(filepath.Base(path), ".events")
 	}
@@ -357,27 +400,12 @@ func appendEvents(baseURL, path, name string, batch int) {
 		fatalf("%s: %v", path, err)
 	}
 	base := strings.TrimSuffix(baseURL, "/")
-	seq := 0
-	resp, err := http.Get(base + "/runs/" + url.PathEscape(name))
+	seq, _, err := liveStatus(base, name)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	var status struct {
-		Status string `json:"status"`
-		Events int    `json:"events"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&status)
-	resp.Body.Close()
-	switch {
-	case resp.StatusCode == http.StatusOK && err == nil && status.Status == "live":
-		seq = status.Events
-		if seq > 0 {
-			fmt.Printf("resuming %s at sequence %d\n", name, seq)
-		}
-	case resp.StatusCode == http.StatusOK && err == nil:
-		fatalf("run %q is already finished", name)
-	case resp.StatusCode != http.StatusNotFound:
-		fatalf("GET /runs/%s: status %d", name, resp.StatusCode)
+	if seq > 0 {
+		fmt.Printf("resuming %s at sequence %d\n", name, seq)
 	}
 	if seq > len(evs) {
 		fatalf("server has %d events applied but %s holds only %d", seq, path, len(evs))
@@ -394,6 +422,8 @@ func appendEvents(baseURL, path, name string, batch int) {
 		fmt.Printf("%s already holds all %d events, nothing to apply\n", name, seq)
 		return
 	}
+	backoff := 200 * time.Millisecond
+	const maxBackoff = 2 * time.Second
 	for seq < len(evs) {
 		end := seq + batch
 		if end > len(evs) {
@@ -405,8 +435,44 @@ func appendEvents(baseURL, path, name string, batch int) {
 		}
 		target := fmt.Sprintf("%s/runs/%s/events?offset=%d", base, url.PathEscape(name), seq)
 		resp, err := http.Post(target, "text/plain", &body)
-		if err != nil {
-			fatalf("%v", err)
+		statusCode := 0
+		if resp != nil {
+			statusCode = resp.StatusCode
+		}
+		if transientAppend(err, statusCode) {
+			// The server is briefly down (restarting, degraded, shedding
+			// load): honor its Retry-After if it gave one, back off, resync
+			// the cursor from its status (a restarted server may have
+			// recovered at an earlier sequence than we believe), and resend.
+			wait := backoff
+			if resp != nil {
+				if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+					if ra := time.Duration(secs) * time.Second; ra > wait {
+						wait = ra
+					}
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if retries <= 0 {
+				if err != nil {
+					fatalf("POST events at offset %d: %v (retries exhausted)", seq, err)
+				}
+				fatalf("POST events at offset %d: status %d (retries exhausted)", seq, statusCode)
+			}
+			retries--
+			if wait > maxBackoff {
+				wait = maxBackoff
+			}
+			fmt.Fprintf(os.Stderr, "provquery: append at offset %d unavailable, retrying in %v (%d retries left)\n", seq, wait, retries)
+			time.Sleep(wait)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			if cur, live, serr := liveStatus(base, name); serr == nil && live && cur < seq {
+				seq = cur
+			}
+			continue
 		}
 		err = json.NewDecoder(resp.Body).Decode(&last)
 		resp.Body.Close()
@@ -416,6 +482,7 @@ func appendEvents(baseURL, path, name string, batch int) {
 		if resp.StatusCode != http.StatusOK {
 			fatalf("POST events at offset %d: status %d: %s", seq, resp.StatusCode, last.Error)
 		}
+		backoff = 200 * time.Millisecond
 		seq = last.Seq
 		applied += last.Applied
 	}

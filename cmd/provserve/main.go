@@ -25,6 +25,33 @@
 //	                                              it (-checkpoint-every
 //	                                              bounds crash replay)
 //
+// Fault tolerance (see the failure model on the store backend and
+// internal/server's breaker):
+//
+//	provserve -store ./provstore -retry 4         retry transient backend
+//	                                              errors with jittered
+//	                                              exponential backoff
+//	provserve -store ./provstore -breaker-threshold 5
+//	                                              after 5 consecutive
+//	                                              transient failures flip
+//	                                              into degraded read-only
+//	                                              mode: cache-hit reads
+//	                                              serve, everything else
+//	                                              503 + Retry-After until
+//	                                              a backend probe heals
+//	provserve -store ./provstore -stream -recover-at-start
+//	                                              rebuild interrupted live
+//	                                              streams before listening
+//	                                              instead of on first touch
+//	provserve -store ./provstore -stream -stream-ttl 1h
+//	                                              expire live streams idle
+//	                                              past the TTL (session,
+//	                                              event log, checkpoint)
+//	provserve -store 'fault://rate=0.05,seed=1/mem://./provstore'
+//	                                              chaos-test: 5%% injected
+//	                                              transient faults on every
+//	                                              backend op
+//
 // Endpoints (see internal/server):
 //
 //	curl localhost:8080/healthz
@@ -86,6 +113,11 @@ func main() {
 		rate        = flag.Float64("rate", 0, "per-client rate limit in requests/second (0 = unlimited)")
 		burst       = flag.Float64("burst", 0, "per-client rate-limit burst, min 1 token (0 = 2*rate)")
 		warm        = flag.Bool("warm", false, "preload the store's saved hot-session list on start and save it on shutdown")
+		retry       = flag.Int("retry", 0, "retry transient backend errors up to this many attempts with jittered backoff (0 disables)")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive transient backend failures before degraded read-only mode (0 = default 5, negative disables)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "backend probe interval (and Retry-After) while degraded (0 = default 500ms)")
+		recoverAll  = flag.Bool("recover-at-start", false, "eagerly rebuild interrupted live streams before listening (needs -stream)")
+		streamTTL   = flag.Duration("stream-ttl", 0, "expire live streams idle past this duration, dropping their durable state (0 = never; needs -stream)")
 	)
 	flag.Parse()
 	if *storeURL == "" {
@@ -96,6 +128,16 @@ func main() {
 	st, err := repro.OpenStoreURL(*storeURL)
 	if err != nil {
 		log.Fatalf("provserve: %v", err)
+	}
+	if *retry > 0 {
+		// Re-open the store over the retry-wrapped backend so every
+		// backend trip (loads, ingests, appends, checkpoints) absorbs
+		// transient faults before the server's breaker ever sees them.
+		st, err = repro.OpenStoreOverBackend(
+			repro.WithRetryBackend(st.Backend(), repro.StoreRetryPolicy{MaxAttempts: *retry}))
+		if err != nil {
+			log.Fatalf("provserve: reopening store with retry: %v", err)
+		}
 	}
 	sch, err := repro.SpecSchemeByName(*scheme)
 	if err != nil {
@@ -116,10 +158,38 @@ func main() {
 		QueueDepth:       *queueDepth,
 		RatePerClient:    *rate,
 		RateBurst:        *burst,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
 		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("provserve: %v", err)
+	}
+	if *recoverAll {
+		// Recover before listening: the first append or query a client
+		// can reach already finds its stream live, with no request-path
+		// replay latency.
+		recovered, cleaned, err := srv.RecoverStreams()
+		if err != nil {
+			log.Printf("provserve: startup stream recovery failed (streams recover lazily): %v", err)
+		} else {
+			log.Printf("provserve: startup recovery: %d stream(s) live, %d stale state(s) cleaned", recovered, cleaned)
+		}
+	}
+	if *streamTTL > 0 {
+		// Sweep a few times per TTL so a stream expires reasonably soon
+		// after crossing it, with a floor so tiny TTLs don't busy-loop.
+		interval := *streamTTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go func() {
+			for range time.Tick(interval) {
+				if expired := srv.SweepIdleStreams(*streamTTL); len(expired) > 0 {
+					log.Printf("provserve: expired %d idle stream(s): %v", len(expired), expired)
+				}
+			}
+		}()
 	}
 	if *warm {
 		// Warm before listening: the first request a client can reach

@@ -197,6 +197,63 @@
 // any custom StoreBackend (e.g. a future object-store layout) — the
 // conformance suite in internal/store/backendtest defines the contract.
 //
+// # Failure model
+//
+// Backends distinguish transient faults from permanent ones with one
+// sentinel: an error wrapping store.ErrTransient (test with
+// IsTransientStoreError) says the operation may succeed if simply
+// retried, and — the load-bearing half of the contract — that a
+// transient failure of a non-idempotent operation left no partial side
+// effect behind, so retrying is uniformly safe with no read-back.
+// Two storage-specific failures calibrate the line:
+//
+//   - A torn event-log append (power cut mid-write) is NOT transient:
+//     a prefix of the batch may have landed, so blind retry could
+//     duplicate events. The backend surfaces it as a permanent error
+//     and stream recovery — which replays only complete, parseable log
+//     lines — owns the repair.
+//   - A partial run write IS transient: run snapshots are written
+//     whole-blob, so the overwrite on retry heals any debris.
+//
+// WithRetryBackend (store.WithRetry; `provserve -retry N`, `provload
+// -retry N`) wraps any backend in that contract: transient errors are
+// retried with jittered exponential backoff, permanent errors pass
+// through untouched, and retry/giveup counters ride on Stat().
+//
+// Above retries sits the server's circuit breaker
+// (ServerConfig.BreakerThreshold/BreakerCooldown, `provserve
+// -breaker-threshold`): after N consecutive transient backend failures
+// the server flips into degraded read-only mode — queries over
+// cache-resident and live sessions keep answering, while writes and
+// cache-miss reads answer 503 with a Retry-After instead of hammering
+// a sick backend. A background probe re-tests the backend every
+// cooldown and any non-transient outcome heals the breaker; /healthz
+// reports "degraded" plus breaker state, consecutive-failure count and
+// probe totals throughout.
+//
+// Streaming ingest adds two recovery knobs: `-recover-at-start`
+// (Server.RecoverStreams) rebuilds every interrupted live stream
+// before the listener opens — finished runs win over stale stream
+// state, which is cleaned — instead of paying replay latency on first
+// touch, and `-stream-ttl` (Server.SweepIdleStreams) expires live
+// streams idle past the TTL, dropping their session, event log and
+// checkpoint so abandoned streams cannot pin memory and names forever.
+// The provquery -append client retries transient 503/network failures
+// with capped backoff, honoring Retry-After and resyncing its cursor
+// from the server's status GET, so an interrupted stream resumes
+// without duplicating events.
+//
+// The whole stack is exercised by fault injection: the fault:// store
+// URL (internal/store/faultinject; composable over any inner URL, e.g.
+// `fault://rate=0.05,seed=1/mem://./provstore`) wraps a backend with a
+// programmable fault plan — per-op transient error rates, injected
+// latency, torn append tails, partial run writes, fail-N-then-succeed
+// scripts, deterministically seeded. The chaos suite (TestChaos, `make
+// chaos-smoke` in CI) drives a server over a faulty backend with
+// concurrent reads, ingests, deletes and streams, then proves no
+// acknowledged event was lost and query answers are byte-identical to
+// a fault-free twin once the faults stop.
+//
 // # Snapshot wire format versioning
 //
 // Stored label snapshots carry a version magic. Writers emit SKL2, a

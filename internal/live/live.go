@@ -43,6 +43,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/events"
@@ -232,7 +233,21 @@ type Session struct {
 
 	lastRenumbers int
 	broken        bool
+
+	// lastActive is the wall time (unix nanos) of the session's last
+	// append or query, stored atomically so the serving layer's idle-TTL
+	// sweep reads it without the run lock. Zero means never touched;
+	// NewSession stamps creation time so a session is never instantly
+	// idle.
+	lastActive atomic.Int64
 }
+
+// Touch stamps the session as active now. The serving layer calls it on
+// every append and query; SweepIdleStreams compares against it.
+func (s *Session) Touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// LastActive returns the time of the session's last Touch.
+func (s *Session) LastActive() time.Time { return time.Unix(0, s.lastActive.Load()) }
 
 // NewSession starts an empty live session for name over the store's
 // specification. Pass the registry's Gauges (nil disconnects metrics).
@@ -242,7 +257,7 @@ func NewSession(st *store.Store, name string, skel label.Labeling, g *Gauges) *S
 	}
 	sp := st.Spec()
 	l := online.New(sp, skel)
-	return &Session{
+	s := &Session{
 		name:   name,
 		st:     st,
 		sp:     sp,
@@ -252,6 +267,8 @@ func NewSession(st *store.Store, name string, skel label.Labeling, g *Gauges) *S
 		byName: make(map[string]dag.VertexID),
 		counts: make([]int, sp.NumVertices()),
 	}
+	s.Touch()
+	return s
 }
 
 // Seq returns the number of events applied — the offset the next
@@ -318,9 +335,14 @@ func (s *Session) Append(evs []events.Event, offset int) (int, error) {
 		return 0, err
 	}
 	if err := s.st.AppendRunEvents(s.name, buf.Bytes()); err != nil {
-		// The append may have landed partially; only a fresh Recover can
-		// re-establish what is actually on disk.
-		s.broken = true
+		// A transient error guarantees no bytes landed (the store failure
+		// model), so the session stays consistent and appendable — the
+		// client retries the batch at the same offset. Any other error
+		// means the append may have landed partially; only a fresh
+		// Recover can re-establish what is actually on disk.
+		if !store.IsTransient(err) {
+			s.broken = true
+		}
 		return 0, fmt.Errorf("live: appending event log for %q: %w", s.name, err)
 	}
 	s.logBytes += int64(buf.Len())

@@ -11,6 +11,7 @@ import (
 	"repro/internal/run"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/store/faultinject"
 	"repro/internal/workload"
 	"repro/internal/xmlio"
 )
@@ -105,8 +106,34 @@ func StandInSpec(name string, seed int64) (*spec.Spec, error) {
 // (fs://dir, bare path, mem:, mem://, shard://a,b), creating it with
 // the given spec when it does not exist yet. The second result reports
 // whether the store was created (and therefore needs a corpus).
+// A fault://opts/inner URL opens (or creates) the inner store and
+// wraps its backend in the chaos fault injector — the plan is armed
+// only after the store is open, so creating the store and persisting
+// the spec are never the faults' victims. Everything after (corpus
+// building, the load run) is; pair with provload -retry to absorb the
+// injected transients.
 func OpenOrCreateStore(url string, sp *spec.Spec, specName string) (*store.Store, bool, error) {
 	switch {
+	case strings.HasPrefix(url, "fault://"):
+		opts, inner, ok := strings.Cut(strings.TrimPrefix(url, "fault://"), "/")
+		if !ok {
+			return nil, false, fmt.Errorf("loadgen: fault URL %q needs fault://opts/inner-url", url)
+		}
+		plan, err := faultinject.ParsePlan(opts)
+		if err != nil {
+			return nil, false, err
+		}
+		st, created, err := OpenOrCreateStore(inner, sp, specName)
+		if err != nil {
+			return nil, false, err
+		}
+		fb := faultinject.Wrap(st.Backend(), faultinject.Plan{})
+		wrapped, err := store.OpenBackend(fb)
+		if err != nil {
+			return nil, false, err
+		}
+		fb.SetPlan(plan)
+		return wrapped, created, nil
 	case url == "mem:" || url == "mem://" || strings.HasPrefix(url, "mem://"):
 		// A pure in-RAM store is always fresh; mem://dir preloading an
 		// existing fs directory is store.OpenURL's job.

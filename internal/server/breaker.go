@@ -1,0 +1,185 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// breaker.go is the server's circuit breaker over the storage backend —
+// the control half of the failure model documented on store.Backend.
+// Transient backend errors that survive the store-level retry wrapper
+// (configure one with cmd/provserve's -retry) are counted here; a run
+// of consecutive failures means the substrate is down, not flaky, and
+// hammering it with more load only deepens the outage. The breaker then
+// flips the server into degraded read-only mode:
+//
+//   - Writes (PUT, DELETE, POST events, POST finish) answer 503 with
+//     Retry-After instead of touching the backend.
+//   - Cache-hit reads (/reachable, /batch, /lineage, run status) keep
+//     answering at full fidelity — resident sessions are immutable and
+//     need no I/O. Live streaming sessions also keep answering queries;
+//     only their appends are refused.
+//   - Cache-miss reads answer 503 with Retry-After: better an honest
+//     "come back shortly" than a slow 500 after a doomed backend trip.
+//
+// While open, a probe goroutine re-checks the backend every cooldown
+// (half-open: exactly one cheap read is in flight, client traffic stays
+// shed) and the first success closes the breaker. Any organic backend
+// success observed meanwhile closes it too. /healthz reports the state
+// throughout ("degraded" plus a breaker block), so operators and load
+// balancers can see the transition without tailing logs.
+
+// breaker counts consecutive transient backend failures and trips into
+// degraded mode at the configured threshold. All methods are safe for
+// concurrent use; a nil or disabled breaker reports closed forever.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probe     func() error
+	logf      func(format string, args ...any)
+
+	mu          sync.Mutex
+	open        bool
+	probing     bool
+	consecutive int
+	openedAt    time.Time
+	opens       int64
+	probes      int64
+}
+
+// newBreaker builds a breaker tripping after threshold consecutive
+// transient failures and probing the backend every cooldown while open.
+// threshold <= 0 disables the breaker (isOpen is always false).
+func newBreaker(threshold int, cooldown time.Duration, probe func() error, logf func(string, ...any)) *breaker {
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, probe: probe, logf: logf}
+}
+
+func (b *breaker) enabled() bool { return b.threshold > 0 }
+
+// isOpen reports whether the server is in degraded read-only mode.
+func (b *breaker) isOpen() bool {
+	if !b.enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// note records the outcome of one backend interaction. A transient
+// error is a strike; reaching the threshold opens the breaker and
+// starts the probe loop. Anything else — success, not-exist, even a
+// permanent error — proves the backend is answering, resets the strike
+// count, and closes an open breaker.
+func (b *breaker) note(err error) {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil && store.IsTransient(err) {
+		b.consecutive++
+		if !b.open && b.consecutive >= b.threshold {
+			b.open = true
+			b.openedAt = time.Now()
+			b.opens++
+			b.logf("server: circuit breaker OPEN after %d consecutive transient backend failures (last: %v); degraded read-only mode, probing every %v",
+				b.consecutive, err, b.cooldown)
+			if !b.probing {
+				b.probing = true
+				go b.probeLoop()
+			}
+		}
+		return
+	}
+	b.consecutive = 0
+	if b.open {
+		b.open = false
+		b.logf("server: circuit breaker closed after %v degraded; backend healthy again", time.Since(b.openedAt).Round(time.Millisecond))
+	}
+}
+
+// probeLoop is the half-open state: while the breaker is open it issues
+// one cheap backend read per cooldown and feeds the result back through
+// note, which closes the breaker on the first success. The loop exits
+// once the breaker is closed (by its own probe or organically).
+func (b *breaker) probeLoop() {
+	for {
+		time.Sleep(b.cooldown)
+		b.mu.Lock()
+		if !b.open {
+			b.probing = false
+			b.mu.Unlock()
+			return
+		}
+		b.probes++
+		b.mu.Unlock()
+		b.note(b.probe())
+	}
+}
+
+// retryAfterSeconds is the Retry-After value for 503s shed while the
+// breaker is open: the probe cadence, so a client that honors it comes
+// back roughly when the server could first have healed.
+func (b *breaker) retryAfterSeconds() int {
+	secs := int(b.cooldown / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// BreakerStats is the circuit breaker's /healthz snapshot.
+type BreakerStats struct {
+	Enabled bool `json:"enabled"`
+	// State is "closed" (normal) or "open" (degraded read-only; the
+	// probe loop doubles as the half-open state).
+	State       string `json:"state"`
+	Threshold   int    `json:"threshold,omitempty"`
+	Consecutive int    `json:"consecutive_failures"`
+	// Opens counts closed→open transitions since the server started.
+	Opens int64 `json:"opens"`
+	// Probes counts half-open backend probes issued.
+	Probes int64 `json:"probes"`
+	// OpenSeconds is how long the breaker has currently been open.
+	OpenSeconds float64 `json:"open_seconds,omitempty"`
+	// RetryAfterSeconds is what shed requests are told.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func (b *breaker) stats() BreakerStats {
+	st := BreakerStats{Enabled: b.enabled(), State: "closed"}
+	if !b.enabled() {
+		st.State = "disabled"
+		return st
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st.Threshold = b.threshold
+	st.Consecutive = b.consecutive
+	st.Opens = b.opens
+	st.Probes = b.probes
+	if b.open {
+		st.State = "open"
+		st.OpenSeconds = time.Since(b.openedAt).Seconds()
+		st.RetryAfterSeconds = b.retryAfterSeconds()
+	}
+	return st
+}
+
+// unavailable answers one request with 503 and the breaker's
+// Retry-After. Used both for requests shed in degraded mode and for
+// transient backend errors on the normal path — either way the honest
+// answer is "temporarily unavailable, retry shortly", and provquery's
+// append retry loop keys off exactly this shape.
+func (s *Server) unavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.brk.retryAfterSeconds()))
+	writeErr(w, http.StatusServiceUnavailable, format, args...)
+}

@@ -122,6 +122,32 @@ func (c *sessionCache) Get(name string) (*session, error) {
 	return sess, err
 }
 
+// Peek returns the cached session for name without ever loading: a
+// miss is just (nil, false). It is degraded mode's read path — while
+// the circuit breaker is open, resident sessions (immutable, fully in
+// memory) keep answering queries and misses are shed instead of sent to
+// a backend known to be failing. A hit still refreshes LRU position and
+// counts as a hit; an entry still loading is waited on like Get (its
+// load began before the breaker opened), and a failed load reports a
+// miss.
+func (c *sessionCache) Peek(name string) (*session, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	<-e.ready
+	if e.err != nil || e.sess == nil {
+		return nil, false
+	}
+	return e.sess, true
+}
+
 // evictOverCapacityLocked drops least-recently-used entries until the
 // cache is back within max; the caller holds c.mu.
 func (c *sessionCache) evictOverCapacityLocked() {

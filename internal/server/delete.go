@@ -33,12 +33,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.brk.isOpen() {
+		s.unavailable(w, "degraded mode: the storage backend is unavailable, deletion is disabled")
+		return
+	}
 	switch err := s.deleteRun(name); {
 	case errors.Is(err, fs.ErrNotExist):
+		s.brk.note(nil)
 		writeErr(w, http.StatusNotFound, "unknown run %q", name)
 	case err != nil:
+		s.brk.note(err)
+		if store.IsTransient(err) {
+			// Transient deletes are side-effect-free by contract: nothing
+			// was removed, so the client may retry the DELETE verbatim.
+			s.unavailable(w, "deleting run %q: %v", name, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "deleting run %q: %v", name, err)
 	default:
+		s.brk.note(nil)
 		s.logf("server: deleted run %q", name)
 		writeJSON(w, http.StatusOK, map[string]any{"run": name, "deleted": true})
 	}

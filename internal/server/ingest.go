@@ -69,6 +69,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.brk.isOpen() {
+		s.unavailable(w, "degraded mode: the storage backend is unavailable, ingest is disabled")
+		return
+	}
 	// Shield this name from retention sweeps for the whole handler: a
 	// sweep triggered by a concurrent PUT must not delete a run whose
 	// 200 is still on its way to the client.
@@ -111,10 +115,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(name, &session{Session: sess, namer: run.NewNamer(sess.Run)})
 	}
 	mu.Unlock()
+	s.brk.note(err)
 	if err != nil {
 		// The document already decoded and validated against the spec,
 		// so a PutRunSession failure is the store's (labeling, encoding,
-		// or backend I/O) — the client's request was well-formed.
+		// or backend I/O) — the client's request was well-formed. A
+		// transient failure left no usable pair behind (a partial write
+		// is transient precisely because an overwrite retry heals it), so
+		// the client is told to retry, not that the server broke.
+		if store.IsTransient(err) {
+			s.unavailable(w, "storing run %q: %v", name, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "storing run %q: %v", name, err)
 		return
 	}

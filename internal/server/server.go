@@ -70,7 +70,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -148,6 +147,16 @@ type Config struct {
 	// 2*RatePerClient; values below one token are clamped to 1 (a
 	// bucket that can never fill a whole token would reject forever).
 	RateBurst float64
+	// BreakerThreshold is how many consecutive transient backend
+	// failures flip the server into degraded read-only mode (see
+	// breaker.go): writes shed with 503 + Retry-After, cache-hit and
+	// live-session reads keep answering, cache-miss reads shed. 0
+	// defaults to 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the interval between backend health probes
+	// while the breaker is open — and the Retry-After clients are told.
+	// <= 0 defaults to 500ms.
+	BreakerCooldown time.Duration
 }
 
 // Server answers provenance queries over one store. It is an
@@ -164,6 +173,7 @@ type Server struct {
 	logf           func(format string, args ...any)
 	runMu          runLocks
 	adm            *admission
+	brk            *breaker
 	mux            *http.ServeMux
 
 	// Streaming ingest state (nil/zero unless Config.EnableStream):
@@ -173,6 +183,9 @@ type Server struct {
 	ckptEvery  int
 	live       *live.Registry
 	streamSkel label.Labeling
+	// streamsExpired counts live sessions the idle-TTL sweep reclaimed
+	// (SweepIdleStreams), surfaced in /healthz.
+	streamsExpired atomic.Int64
 
 	// ingesting refcounts run names with a PUT handler in flight, from
 	// before the document decodes until the response is written. The
@@ -287,6 +300,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
 	s := &Server{
 		st:             cfg.Store,
 		scheme:         cfg.Scheme,
@@ -301,6 +317,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.ingesting = make(map[string]int)
 	s.cache = newSessionCache(cfg.CacheSize, s.load)
+	// The probe is the cheapest whole-backend read there is: the spec
+	// blob exists in every opened store, so a successful read means the
+	// substrate answers again.
+	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func() error {
+		rc, err := cfg.Store.Backend().ReadSpec()
+		if err == nil {
+			rc.Close()
+		}
+		return err
+	}, cfg.Logf)
 	if cfg.EnableStream {
 		skel, err := cfg.Store.Skeleton(s.scheme)
 		if err != nil {
@@ -419,34 +445,11 @@ func (s *Server) load(name string) (*session, error) {
 	mu.RLock()
 	sess, err := s.st.OpenRun(name, s.scheme)
 	mu.RUnlock()
+	s.brk.note(err)
 	if err != nil {
 		return nil, err
 	}
 	return &session{Session: sess, namer: run.NewNamer(sess.Run)}, nil
-}
-
-// session resolves the run named in the request, translating load
-// failures into HTTP errors. A missing run file is 404; anything else
-// (corrupt snapshot, unreadable store) is 500.
-func (s *Server) session(w http.ResponseWriter, name string) (*session, bool) {
-	if name == "" {
-		writeErr(w, http.StatusBadRequest, "missing 'run' parameter")
-		return nil, false
-	}
-	if err := store.ValidRunName(name); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return nil, false
-	}
-	sess, err := s.cache.Get(name)
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			writeErr(w, http.StatusNotFound, "unknown run %q", name)
-		} else {
-			writeErr(w, http.StatusInternalServerError, "loading run %q: %v", name, err)
-		}
-		return nil, false
-	}
-	return sess, true
 }
 
 // vertex resolves a vertex reference; it and the /batch decoder share
@@ -490,8 +493,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	degraded := s.brk.isOpen()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
 	body := map[string]any{
-		"status":    "ok",
+		"status":    status,
+		"degraded":  degraded,
+		"breaker":   s.brk.stats(),
 		"spec":      s.st.SpecName(),
 		"scheme":    s.scheme.Name(),
 		"ingest":    s.ingest,
@@ -503,6 +513,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.stream {
 		body["live"] = s.live.Stats()
+		body["streams_expired"] = s.streamsExpired.Load()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -530,8 +541,17 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.URL.Query().Get("run")
 	if name == "" {
+		if s.brk.isOpen() {
+			s.unavailable(w, "degraded mode: backend unavailable, run listing needs it")
+			return
+		}
 		runs, err := s.st.Runs()
+		s.brk.note(err)
 		if err != nil {
+			if store.IsTransient(err) {
+				s.unavailable(w, "listing runs: %v", err)
+				return
+			}
 			writeErr(w, http.StatusInternalServerError, "listing runs: %v", err)
 			return
 		}

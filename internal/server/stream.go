@@ -57,24 +57,45 @@ func (s *Server) resolveRun(w http.ResponseWriter, name string) (*live.Session, 
 	}
 	if s.stream {
 		if ls, release := s.liveLocked(name); ls != nil {
+			ls.Touch()
 			return ls, release, nil, true
 		}
+	}
+	if s.brk.isOpen() {
+		// Degraded read-only mode: resident sessions answer at full
+		// fidelity, everything else is shed — a cache miss here would
+		// send a query to a backend known to be failing.
+		if sess, ok := s.cache.Peek(name); ok {
+			return nil, nil, sess, true
+		}
+		s.unavailable(w, "degraded mode: run %q is not resident and the storage backend is unavailable", name)
+		return nil, nil, nil, false
 	}
 	sess, err := s.cache.Get(name)
 	if err == nil {
 		return nil, nil, sess, true
 	}
 	if !errors.Is(err, os.ErrNotExist) {
+		if store.IsTransient(err) {
+			s.unavailable(w, "loading run %q: %v", name, err)
+			return nil, nil, nil, false
+		}
 		writeErr(w, http.StatusInternalServerError, "loading run %q: %v", name, err)
 		return nil, nil, nil, false
 	}
 	if s.stream {
 		ls, release, rerr := s.resurrect(name)
 		if rerr != nil {
+			s.brk.note(rerr)
+			if store.IsTransient(rerr) {
+				s.unavailable(w, "recovering stream %q: %v", name, rerr)
+				return nil, nil, nil, false
+			}
 			writeErr(w, http.StatusInternalServerError, "recovering stream %q: %v", name, rerr)
 			return nil, nil, nil, false
 		}
 		if ls != nil {
+			ls.Touch()
 			return ls, release, nil, true
 		}
 		// resurrect found a stored run instead of stream state: a PUT or
@@ -152,6 +173,10 @@ func (s *Server) handleAppendEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.brk.isOpen() {
+		s.unavailable(w, "degraded mode: the storage backend is unavailable, appends are disabled")
+		return
+	}
 	offset := -1
 	if raw := r.URL.Query().Get("offset"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -212,11 +237,17 @@ func (s *Server) handleAppendEvents(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, fs.ErrNotExist):
 			ls = live.NewSession(s.st, name, s.streamSkel, s.live.Gauges())
 		default:
+			s.brk.note(err)
+			if store.IsTransient(err) {
+				s.unavailable(w, "recovering stream %q: %v", name, err)
+				return
+			}
 			writeErr(w, http.StatusInternalServerError, "recovering stream %q: %v", name, err)
 			return
 		}
 		s.live.Put(name, ls)
 	}
+	ls.Touch()
 	if offset < 0 {
 		offset = ls.Seq()
 	}
@@ -231,13 +262,23 @@ func (s *Server) handleAppendEvents(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
+		s.brk.note(err)
+		if store.IsTransient(err) {
+			// The failed call had no side effect (the transient contract),
+			// so the session is intact and the client may simply retry the
+			// batch at the same offset.
+			s.unavailable(w, "appending to stream %q: %v", name, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "appending to stream %q: %v", name, err)
 		return
 	}
+	s.brk.note(nil)
 	if s.ckptEvery > 0 && ls.SinceCheckpoint() >= s.ckptEvery {
 		// Checkpoint failure never fails the append — the events are
 		// already durable in the log; only the replay bound suffers.
 		if err := ls.Checkpoint(); err != nil {
+			s.brk.note(err)
 			s.logf("server: checkpointing stream %q: %v", name, err)
 		}
 	}
@@ -259,6 +300,10 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := store.ValidRunName(name); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.brk.isOpen() {
+		s.unavailable(w, "degraded mode: the storage backend is unavailable, finish is disabled")
 		return
 	}
 	// Shield the freshly stored run from the retention sweep until the
@@ -315,11 +360,17 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		var inc *live.IncompleteError
 		if errors.As(err, &inc) {
 			writeErr(w, http.StatusConflict, "cannot finish run %q: %v", name, inc.Err)
-		} else {
-			writeErr(w, http.StatusInternalServerError, "finishing run %q: %v", name, err)
+			return
 		}
+		s.brk.note(err)
+		if store.IsTransient(err) {
+			s.unavailable(w, "finishing run %q: %v", name, err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "finishing run %q: %v", name, err)
 		return
 	}
+	s.brk.note(nil)
 	s.logf("server: finished streamed run %q (%d events, %d vertices)", name, seq, sess.Run.NumVertices())
 	if s.maxRuns > 0 {
 		if _, err := s.EnforceMaxRuns(s.maxRuns, name); err != nil {

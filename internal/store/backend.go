@@ -57,7 +57,25 @@ import "io"
 // because log deletion is cleanup — callers fire it after a finish or a
 // run delete without caring whether streaming was ever used. Event logs
 // are invisible to ListRuns and independent of the run/labels pair:
-// writing or deleting one side never touches the other.
+// writing or deleting one side never touches the other. ListEventLogs
+// is their own listing — the names with a log present, sorted ascending
+// — so a restarted serving layer can find interrupted streams without
+// probing every possible name (eager stream recovery).
+//
+// # Failure model
+//
+// Errors are classified transient or permanent via ErrTransient (see
+// IsTransient): a transient error means the same call may succeed if
+// retried, a permanent one means it will not. Every backend must keep
+// not-exist, validation and corruption errors unmarked (permanent), and
+// may mark overload/flaky-substrate failures transient. Two operations
+// carry a stricter rule because they are not idempotent: an
+// AppendEventLog or DeleteRun error may only be transient when the
+// operation had NO side effect (no bytes appended, nothing removed) —
+// ambiguous failures stay permanent so a retry layer never duplicates
+// appended bytes or mistakes a completed delete for a missing run. The
+// retry wrapper (WithRetry) and the fault injector
+// (internal/store/faultinject) are built on exactly this contract.
 type Backend interface {
 	// ReadSpec streams the stored specification document.
 	ReadSpec() (io.ReadCloser, error)
@@ -87,6 +105,10 @@ type Backend interface {
 	// DeleteEventLog removes the named run's event log; removing a
 	// nonexistent log is a successful no-op.
 	DeleteEventLog(name string) error
+	// ListEventLogs returns the names that currently have an event log,
+	// sorted ascending — the streams a crash may have interrupted. A
+	// backend holding no logs returns an empty list, not an error.
+	ListEventLogs() ([]string, error)
 	// ReadMeta streams a small named metadata blob (e.g. the serving
 	// layer's hot-session list). Meta names are dot-prefixed (see
 	// ValidMetaName), which keeps them disjoint from run names on every
@@ -118,4 +140,10 @@ type Stats struct {
 	Runs int `json:"runs,omitempty"`
 	// Shards holds one entry per child of a shard backend.
 	Shards []Stats `json:"shards,omitempty"`
+	// Wrapped is the inner backend's stats for wrapper backends (the
+	// retry layer, the fault injector).
+	Wrapped *Stats `json:"wrapped,omitempty"`
+	// Counters holds wrapper-specific counters (retries performed,
+	// faults injected), populated by wrapper backends.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }

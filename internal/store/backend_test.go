@@ -46,6 +46,15 @@ func TestShardMemBackendConformance(t *testing.T) {
 	})
 }
 
+// The retry wrapper must be contract-transparent: a conformance pass
+// over a wrapped mem backend shows retries never change semantics on a
+// healthy substrate.
+func TestRetryBackendConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) store.Backend {
+		return store.WithRetry(store.NewMemBackend(), store.RetryPolicy{})
+	})
+}
+
 func TestShardNeedsChildren(t *testing.T) {
 	if _, err := store.NewShardBackend(); err == nil {
 		t.Fatal("NewShardBackend() accepted zero children")

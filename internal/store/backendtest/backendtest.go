@@ -458,6 +458,74 @@ func Run(t *testing.T, newBackend Factory) {
 		}
 	})
 
+	t.Run("EventLogList", func(t *testing.T) {
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		// Empty store: an empty listing, not an error (the eager stream
+		// recovery scan runs against stores with no live sessions).
+		if names, err := b.ListEventLogs(); err != nil || len(names) != 0 {
+			t.Fatalf("ListEventLogs on empty backend = %v, %v; want empty", names, err)
+		}
+		// Runs without logs never list; logs list sorted regardless of
+		// append order and independent of whether a run pair exists.
+		if err := b.WriteRun("stored-only", []byte("d"), []byte("l")); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"zeta", "alpha", "mid"} {
+			if err := b.AppendEventLog(name, []byte("ev:"+name+"\n")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names, err := b.ListEventLogs()
+		if err != nil || fmt.Sprint(names) != fmt.Sprint([]string{"alpha", "mid", "zeta"}) {
+			t.Fatalf("ListEventLogs = %v, %v; want [alpha mid zeta]", names, err)
+		}
+		// Deleting a log removes it from the listing; deleting the run
+		// pair does not.
+		if err := b.DeleteEventLog("mid"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.DeleteRun("stored-only"); err != nil {
+			t.Fatal(err)
+		}
+		names, err = b.ListEventLogs()
+		if err != nil || fmt.Sprint(names) != fmt.Sprint([]string{"alpha", "zeta"}) {
+			t.Fatalf("ListEventLogs after deletes = %v, %v; want [alpha zeta]", names, err)
+		}
+	})
+
+	t.Run("TransientClassification", func(t *testing.T) {
+		// Missing-blob errors are the backend's 404 path and must never
+		// look retryable: a retry wrapper that backed off on ErrNotExist
+		// would turn every cold-cache miss into a full backoff ladder.
+		b := newBackend(t)
+		defer b.Close()
+		mustInit(t, b)
+		checks := []struct {
+			what string
+			err  error
+		}{
+			{"ReadRun", readOnlyErr(b.ReadRun("absent"))},
+			{"ReadLabels", readOnlyErr(b.ReadLabels("absent"))},
+			{"ReadEventLog", readOnlyErr(b.ReadEventLog("absent"))},
+			{"ReadMeta", readOnlyErr(b.ReadMeta(".absent"))},
+			{"DeleteRun", b.DeleteRun("absent")},
+		}
+		for _, c := range checks {
+			if !errors.Is(c.err, fs.ErrNotExist) {
+				t.Fatalf("%s(absent) = %v, want fs.ErrNotExist", c.what, c.err)
+			}
+			if store.IsTransient(c.err) {
+				t.Fatalf("%s(absent) error %v classified transient; not-exist must be permanent", c.what, c.err)
+			}
+		}
+		// Successful operations are not errors at all.
+		if store.IsTransient(nil) {
+			t.Fatal("IsTransient(nil) = true")
+		}
+	})
+
 	t.Run("Stat", func(t *testing.T) {
 		b := newBackend(t)
 		defer b.Close()
@@ -823,6 +891,15 @@ func read(t *testing.T, open func() (io.ReadCloser, error)) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+// readOnlyErr discards the reader and keeps the error, for probes that
+// only care about classification.
+func readOnlyErr(rc io.ReadCloser, err error) error {
+	if rc != nil {
+		rc.Close()
+	}
+	return err
 }
 
 func readErr(rc io.ReadCloser, err error) ([]byte, error) {

@@ -224,6 +224,30 @@ func (b *fsBackend) ReadEventLog(name string) (io.ReadCloser, error) {
 	return b.openBlob(name, ".evlog")
 }
 
+// ListEventLogs scans runs/ for .evlog files — the streams a crash may
+// have left behind. A directory that was never written (no layout yet)
+// simply holds no logs.
+func (b *fsBackend) ListEventLogs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(b.dir, "runs"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".evlog") {
+			out = append(out, strings.TrimSuffix(e.Name(), ".evlog"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 func (b *fsBackend) DeleteEventLog(name string) error {
 	if err := os.Remove(b.runPath(name, ".evlog")); err != nil {
 		if errors.Is(err, fs.ErrNotExist) {

@@ -163,6 +163,17 @@ func (b *memBackend) ReadEventLog(name string) (io.ReadCloser, error) {
 	return io.NopCloser(bytes.NewReader(log)), nil
 }
 
+func (b *memBackend) ListEventLogs() ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.evlogs))
+	for name := range b.evlogs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 func (b *memBackend) DeleteEventLog(name string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()

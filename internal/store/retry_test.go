@@ -1,0 +1,121 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{Transient(errors.New("disk hiccup")), true},
+		{fmt.Errorf("wrapped: %w", Transient(errors.New("x"))), true},
+		{fs.ErrNotExist, false},
+		{fmt.Errorf("store: run %q: %w", "r", fs.ErrNotExist), false},
+		{errors.New("corrupt snapshot"), false},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}
+
+// flakySpec fails ReadSpec with the scripted errors, then succeeds.
+type flakySpec struct {
+	Backend
+	errs  []error
+	calls int
+}
+
+func (f *flakySpec) ReadSpec() (io.ReadCloser, error) {
+	f.calls++
+	if len(f.errs) > 0 {
+		err := f.errs[0]
+		f.errs = f.errs[1:]
+		return nil, err
+	}
+	return f.Backend.ReadSpec()
+}
+
+func TestWithRetryAbsorbsTransientStopsOnPermanent(t *testing.T) {
+	mem := NewMemBackend()
+	if err := mem.WriteSpec([]byte("<spec>")); err != nil {
+		t.Fatal(err)
+	}
+	pol := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+
+	// Two transient failures inside a 4-attempt budget: absorbed.
+	f := &flakySpec{Backend: mem, errs: []error{Transient(errors.New("a")), Transient(errors.New("b"))}}
+	rb := WithRetry(f, pol)
+	if rc, err := rb.ReadSpec(); err != nil {
+		t.Fatalf("ReadSpec = %v, want absorbed", err)
+	} else {
+		rc.Close()
+	}
+	if f.calls != 3 {
+		t.Fatalf("inner calls = %d, want 3 (two failures + success)", f.calls)
+	}
+	if got := rb.Stat().Counters["retries"]; got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+
+	// A permanent error returns immediately, no retries.
+	perm := errors.New("corrupt")
+	f = &flakySpec{Backend: mem, errs: []error{perm}}
+	rb = WithRetry(f, pol)
+	if _, err := rb.ReadSpec(); !errors.Is(err, perm) {
+		t.Fatalf("ReadSpec = %v, want the permanent error", err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("inner calls = %d, want 1 (no retry on permanent)", f.calls)
+	}
+
+	// Budget exhaustion: the transient error surfaces and counts a give-up.
+	f = &flakySpec{Backend: mem, errs: []error{
+		Transient(errors.New("1")), Transient(errors.New("2")),
+		Transient(errors.New("3")), Transient(errors.New("4")),
+	}}
+	rb = WithRetry(f, pol)
+	if _, err := rb.ReadSpec(); !IsTransient(err) {
+		t.Fatalf("ReadSpec after budget = %v, want transient", err)
+	}
+	if f.calls != 4 {
+		t.Fatalf("inner calls = %d, want MaxAttempts=4", f.calls)
+	}
+	if got := rb.Stat().Counters["giveups"]; got != 1 {
+		t.Fatalf("giveups = %d, want 1", got)
+	}
+}
+
+func TestBackoffJitterAndCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	for attempt := 0; attempt < 20; attempt++ {
+		d := backoff(p, attempt)
+		if d < 0 || d > p.MaxDelay {
+			t.Fatalf("backoff(attempt=%d) = %v outside [0, %v]", attempt, d, p.MaxDelay)
+		}
+	}
+	// Early attempts stay near the exponential ladder: attempt 1 doubles
+	// the base, jittered down to at least half.
+	if d := backoff(p, 1); d < 10*time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("backoff(attempt=1) = %v, want in [10ms, 20ms]", d)
+	}
+	// Overflow-deep attempts clamp to the cap instead of going negative.
+	if d := backoff(p, 62); d < p.MaxDelay/2 || d > p.MaxDelay {
+		t.Fatalf("backoff(attempt=62) = %v, want in [%v, %v]", d, p.MaxDelay/2, p.MaxDelay)
+	}
+}

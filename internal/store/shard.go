@@ -130,6 +130,22 @@ func (b *shardBackend) WriteMeta(name string, data []byte) error {
 	return nil
 }
 
+// ListEventLogs fans out like ListRuns: event logs route to the owning
+// child, but a child populated outside this shard set may hold one it
+// does not own, so the union is deduplicated the same way.
+func (b *shardBackend) ListEventLogs() ([]string, error) {
+	var out []string
+	for i, c := range b.children {
+		names, err := c.ListEventLogs()
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		out = append(out, names...)
+	}
+	sort.Strings(out)
+	return dedupSorted(out), nil
+}
+
 func (b *shardBackend) ListRuns() ([]string, error) {
 	var out []string
 	for i, c := range b.children {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"io/fs"
 	"strings"
+	"sync"
 )
 
 // OpenURL opens an existing store from a URL-style locator:
@@ -16,10 +17,14 @@ import (
 //	shard://a,b,...   a store sharded across the listed directories, as
 //	                  created by CreateSharded with the same list
 //
+// Additional schemes can be added through RegisterURLScheme; importing
+// internal/store/faultinject registers "fault", a fault-injecting
+// wrapper around any inner URL (fault://rate=0.05,seed=7/fs://dir).
+//
 // A bare "mem://" cannot be opened — an empty memory store has no
 // specification; build one in-process with NewMem instead.
 func OpenURL(rawurl string) (*Store, error) {
-	b, err := openBackendURL(rawurl)
+	b, err := OpenBackendURL(rawurl)
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +36,39 @@ func OpenURL(rawurl string) (*Store, error) {
 	return st, nil
 }
 
-func openBackendURL(rawurl string) (Backend, error) {
+// schemes holds the extension openers RegisterURLScheme added; the
+// built-in fs/mem/shard schemes are matched first and cannot be
+// overridden.
+var (
+	schemesMu sync.RWMutex
+	schemes   = make(map[string]func(rest string) (Backend, error))
+)
+
+// RegisterURLScheme makes OpenURL and OpenBackendURL recognize
+// scheme:// by delegating everything after the "://" to open. It is the
+// database/sql-driver pattern for storage substrates: wrapper and
+// remote backends register themselves from their own package's init, so
+// the core store package never imports them. Registering a built-in
+// scheme (fs, mem, shard) or registering the same scheme twice panics —
+// both are wiring bugs, not runtime conditions.
+func RegisterURLScheme(scheme string, open func(rest string) (Backend, error)) {
+	switch scheme {
+	case "fs", "mem", "shard":
+		panic("store: cannot override built-in URL scheme " + scheme)
+	}
+	schemesMu.Lock()
+	defer schemesMu.Unlock()
+	if _, dup := schemes[scheme]; dup {
+		panic("store: URL scheme " + scheme + " registered twice")
+	}
+	schemes[scheme] = open
+}
+
+// OpenBackendURL opens just the blob-level backend a store URL names,
+// without loading the store's specification — the composition point for
+// wrapper backends: open the inner backend from its URL, wrap it
+// (WithRetry, a fault injector), then OpenBackend the result.
+func OpenBackendURL(rawurl string) (Backend, error) {
 	scheme, rest, ok := strings.Cut(rawurl, "://")
 	if !ok {
 		if rawurl == "" {
@@ -66,7 +103,13 @@ func openBackendURL(rawurl string) (Backend, error) {
 		}
 		return newShardFS(dirs)
 	default:
-		return nil, fmt.Errorf("store: unknown store URL scheme %q (want fs, mem or shard)", scheme)
+		schemesMu.RLock()
+		open, ok := schemes[scheme]
+		schemesMu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("store: unknown store URL scheme %q (want fs, mem, shard or a registered scheme)", scheme)
+		}
+		return open(rest)
 	}
 }
 
