@@ -10,9 +10,9 @@ ADDR ?= :8080
 # perf lineage cmd/benchtrend renders and gates on. Bump it (and check
 # in a fresh baseline: `make bench-json` with the old number, then move
 # the "benches" map into bench/BASELINE_<new>.json) once per PR.
-PR ?= 8
+PR ?= 9
 
-.PHONY: build test race bench bench-store bench-json trend load-smoke chaos-smoke fmt vet serve ci
+.PHONY: build test race bench bench-store bench-json trend load-smoke chaos-smoke rpq-smoke fmt vet serve ci
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,7 @@ bench-store:
 bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSnapshotDecode|BenchmarkSnapshotEncode' -benchtime=100x -count=3 ./internal/core/ > bench-json.out
 	$(GO) test -run='^$$' -bench='BenchmarkServerBatchReachable' -benchtime=50x -count=3 . >> bench-json.out
-	$(GO) test -run='^$$' -bench='BenchmarkServerIngest|BenchmarkServerDelete|BenchmarkServerAppendEvents' -benchtime=20x -count=3 . >> bench-json.out
+	$(GO) test -run='^$$' -bench='BenchmarkServerIngest|BenchmarkServerDelete|BenchmarkServerAppendEvents|BenchmarkServerRPQ' -benchtime=20x -count=3 . >> bench-json.out
 	$(GO) run ./cmd/benchjson -baseline bench/BASELINE_$(PR).json -o BENCH_$(PR).json < bench-json.out
 	@rm -f bench-json.out
 
@@ -76,6 +76,18 @@ chaos-smoke:
 		-slo-error-rate 0 -fail-on-slo -quiet -report CHAOS_LOAD.json
 	@echo "chaos-smoke: report in CHAOS_LOAD.json"
 
+# RPQ smoke: the regular-path-query differential + over-the-wire e2e
+# battery under -race, then a short provload run with rpq traffic in
+# the mix — asserting path queries hold the read SLO alongside the
+# usual traffic.
+rpq-smoke:
+	$(GO) test -race -count=1 -run 'TestRPQ' .
+	$(GO) run ./cmd/provload -store mem: -runs 16 -run-size 250 -clients 6 \
+		-mix reachable=40,batch=10,lineage=5,rpq=30,put=8,delete=2 \
+		-rate 300 -duration 3s -slo-read-p99 250ms -slo-write-p99 1s \
+		-slo-error-rate 0 -fail-on-slo -quiet -report RPQ_LOAD.json
+	@echo "rpq-smoke: report in RPQ_LOAD.json"
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -88,4 +100,4 @@ vet:
 serve:
 	$(GO) run ./cmd/provserve -store $(STORE) -addr $(ADDR)
 
-ci: fmt vet build race bench bench-store load-smoke chaos-smoke
+ci: fmt vet build race bench bench-store load-smoke chaos-smoke rpq-smoke

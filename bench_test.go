@@ -482,6 +482,69 @@ func benchServerBatch(b *testing.B, st *repro.Store, r *repro.Run) {
 	}
 }
 
+// BenchmarkServerRPQ measures the regular-path-query serving path end
+// to end — JSON decode, pattern compile, lazy DFA determinization, and
+// the label-pruned product-graph walk — as POST /rpq over a
+// cache-resident run on the in-memory backend. Three pattern shapes
+// cover the cost spectrum: a bare wildcard star (pruning does all the
+// work), an anchored middle label (typical lineage probe), and an
+// alternation under a star (forces subset construction).
+func BenchmarkServerRPQ(b *testing.B) {
+	r := benchRun(b, 5000)
+	st, err := repro.NewMemStore(r.Spec, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.PutRun("r1", r, nil, repro.TCM); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.ServerConfig{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := r.NumVertices()
+	mid := string(r.Spec.NameOf(r.Origin[n/2]))
+	for _, bc := range []struct{ name, pattern string }{
+		{"wildcard", ".*"},
+		{"anchored", fmt.Sprintf(".* %s .*", mid)},
+		{"altstar", fmt.Sprintf("(%s|.)* %s", mid, mid)},
+	} {
+		rng := rand.New(rand.NewSource(11))
+		const pool = 64
+		bodies := make([][]byte, pool)
+		for i := range bodies {
+			body, err := json.Marshal(map[string]string{
+				"run":     "r1",
+				"from":    fmt.Sprint(rng.Intn(n)),
+				"to":      fmt.Sprint(rng.Intn(n)),
+				"pattern": bc.pattern,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bodies[i] = body
+		}
+		b.Run(bc.name, func(b *testing.B) {
+			// Warm the session cache so the loop measures pure
+			// cache-hit serving (zero disk I/O).
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("POST", "/rpq", bytes.NewReader(bodies[0])))
+			if rec.Code != 200 {
+				b.Fatalf("warmup: status %d body %s", rec.Code, rec.Body.String())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest("POST", "/rpq", bytes.NewReader(bodies[i%pool])))
+				if rec.Code != 200 {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkConstructPlan isolates the Section 5 plan-extraction kernel.
 func BenchmarkConstructPlan(b *testing.B) {
 	for _, size := range []int{1000, 16000} {

@@ -415,6 +415,24 @@ func TestChaos(t *testing.T) {
 		if cbody != tbody {
 			t.Fatalf("differential /batch:\nchaos: %s\ntwin:  %s", cbody, tbody)
 		}
+
+		// Path queries answer byte-identically after healing, too: the
+		// sealed stream and the whole-document ingest drive the same
+		// RPQ engine over the same labels.
+		midName := sp.NameOf(r.Origin[n/2])
+		for _, pat := range []string{".*", "()", fmt.Sprintf(".* %s .*", midName)} {
+			for _, pr := range [][2]int{{0, 1}, {0, n - 1}, {n / 2, n - 1}} {
+				body := fmt.Sprintf(`{"run":%q,"from":"%d","to":"%d","pattern":%q}`, ss.name, pr[0], pr[1], pat)
+				ccode, cbody := c.req("POST", "/rpq", body)
+				tcode, tbody := tc.req("POST", "/rpq", body)
+				if ccode != 200 || tcode != 200 {
+					t.Fatalf("differential /rpq %q (%d,%d): chaos %d %s, twin %d %s", pat, pr[0], pr[1], ccode, cbody, tcode, tbody)
+				}
+				if cbody != tbody {
+					t.Fatalf("differential /rpq %q:\nchaos: %s\ntwin:  %s", pat, cbody, tbody)
+				}
+			}
+		}
 	}
 
 	// And the hot run is still exactly what was put before the storm.

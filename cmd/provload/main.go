@@ -1,8 +1,8 @@
 // Command provload is the million-user load harness: an open-loop
 // multi-tenant load generator that drives a provserve-compatible server
 // with N simulated clients, zipfian run popularity and a configurable
-// GET /reachable / POST /batch / lineage / PUT / DELETE / streaming
-// ingest traffic mix,
+// GET /reachable / POST /batch / lineage / POST /rpq / PUT / DELETE /
+// streaming ingest traffic mix,
 // then reports per-endpoint latency percentiles (p50/p95/p99/max),
 // throughput, 429/admission outcomes and SLO verdicts as a
 // machine-readable JSON report.
@@ -14,6 +14,8 @@
 //	provload -store mem: -clients 16 -rate 500 -duration 10s
 //	provload -store fs://./loadstore -runs 128 -run-size 1000
 //	provload -store shard://a,b,c -mix reachable=60,batch=20,put=15,delete=5
+//	provload -store mem: -mix reachable=60,rpq=10,batch=30   regular path
+//	                                                    queries ride along
 //	provload -store mem: -mix reachable=70,stream=30    streaming ingest:
 //	                                                    each client cycles
 //	                                                    append/finish/delete
@@ -133,6 +135,11 @@ func main() {
 			fatalf("discovering corpus from %s: %v", cfg.BaseURL, err)
 		}
 		cfg.Runs = corpus
+		if mix.RPQ > 0 {
+			// The target's module names are unknown, so the pool is
+			// wildcard-only patterns (".", ".*", ...).
+			cfg.RPQPatterns = loadgen.RPQPatternPool(nil, 24, *seed+3)
+		}
 		if mix.Put > 0 {
 			if *putXML == "" {
 				fatalf("target mode with put traffic needs -put-xml (run documents matching the server's spec)")
@@ -183,6 +190,9 @@ func main() {
 			if err != nil {
 				fatalf("building stream batches: %v", err)
 			}
+		}
+		if mix.RPQ > 0 {
+			cfg.RPQPatterns = loadgen.RPQPatternPool(st.Spec(), 24, *seed+3)
 		}
 		logf := log.Printf
 		if *quiet {

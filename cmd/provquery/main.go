@@ -43,6 +43,14 @@
 //	provquery -append http://localhost:8080 -run r3.events -as r3
 //	provquery -finish http://localhost:8080 -run r3
 //
+// With -rpq, provquery asks a running provserve a regular path query:
+// does some dependency path from -from to -to spell a word matching
+// -pattern, a regular expression over module names (alternation `|`,
+// concatenation, quantifiers `* + ?`, wildcard `.`, grouping)? Live
+// streamed runs answer too:
+//
+//	provquery -rpq http://localhost:8080 -run r1 -from a1 -to h1 -pattern '(b|c)* d .*'
+//
 // Vertices are addressed by occurrence name (module name plus occurrence
 // index, e.g. "b2" for the second execution of module b), data items by
 // their item name from the run XML.
@@ -86,8 +94,17 @@ func main() {
 		appendBatch = flag.Int("batch", 64, "events per request for -append")
 		appendRetry = flag.Int("retries", 8, "transient failures (503/429/network) tolerated across one -append, with capped backoff and cursor resync")
 		finishURL   = flag.String("finish", "", "provserve base URL: seal the live run named by -run (POST /runs/{name}/finish)")
+		rpqURL      = flag.String("rpq", "", "provserve base URL: evaluate -pattern between -from and -to on the run named by -run (POST /rpq)")
+		pattern     = flag.String("pattern", "", "regular path query pattern over module names, for -rpq")
 	)
 	flag.Parse()
+	if *rpqURL != "" {
+		if *runPath == "" || *from == "" || *to == "" || *pattern == "" {
+			fatalf("-rpq needs -run <stored run name>, -from, -to and -pattern")
+		}
+		rpqQuery(*rpqURL, *runPath, *from, *to, *pattern)
+		return
+	}
 	if *putURL != "" {
 		if *runPath == "" {
 			fatalf("-put needs -run <run XML file>")
@@ -516,6 +533,39 @@ func finishRun(baseURL, name string) {
 	}
 	fmt.Printf("finished %s: %d events -> %d vertices, %d edges, %s snapshot (%d bytes)\n",
 		fin.Run, fin.Events, fin.Vertices, fin.Edges, fin.SnapshotVersion, fin.SnapshotBytes)
+}
+
+// rpqQuery sends one POST /rpq to a provserve and reports whether any
+// dependency path from 'from' to 'to' matches the pattern, exiting
+// nonzero on any server refusal (bad pattern, unknown run or vertex).
+func rpqQuery(baseURL, name, from, to, pattern string) {
+	base := strings.TrimSuffix(baseURL, "/")
+	body, err := json.Marshal(map[string]string{
+		"run": name, "from": from, "to": to, "pattern": pattern,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	resp, err := http.Post(base+"/rpq", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	var ans struct {
+		Match bool   `json:"match"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		fatalf("rpq %s: status %d, unreadable body: %v", name, resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("rpq %s: status %d: %s", name, resp.StatusCode, ans.Error)
+	}
+	if ans.Match {
+		fmt.Printf("%s -> %s: some path matches %q\n", from, to, pattern)
+	} else {
+		fmt.Printf("%s -> %s: no path matches %q\n", from, to, pattern)
+	}
 }
 
 // deleteRun sends DELETE /runs/{name} to a provserve and reports the

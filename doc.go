@@ -107,6 +107,39 @@
 // renumbers, replays, checkpoints, checkpoint lag) ride on /healthz
 // under "live".
 //
+// # Regular path queries
+//
+// POST /rpq generalizes /reachable from "is there a path" to "is
+// there a path whose module labels spell this regular expression". A
+// path v0 → … → vk spells the module labels of v1..vk — the start
+// vertex contributes nothing — so the empty path from a vertex to
+// itself spells the empty word, and a pattern matches the pair (u, v)
+// iff some u→v path spells a word in its language. The pattern
+// grammar (internal/rpq) has module names and the wildcard "." as
+// atoms, whitespace concatenation, "|" alternation, "*"/"+"/"?"
+// quantifiers and "()" grouping; an unknown module name parses but
+// never matches.
+//
+// Evaluation compiles the pattern to a Thompson NFA and walks the
+// (vertex, state) product graph breadth-first with two bounds. First,
+// the NFA is determinized lazily into a DFA with a hard state budget
+// (ServerConfig.RPQMaxDFAStates, default 4096): each graph step costs
+// one memoized DFA transition, and a pattern whose subset construction
+// would exceed the budget is rejected as a client error rather than
+// growing without bound. Second — the label-pruning guarantee — a
+// product state (y, q) is never expanded unless y == to or the
+// skeleton labels certify Reachable(y, to): every vertex the evaluator
+// touches lies on some u→v path, so the walk explores the subgraph
+// between the endpoints instead of everything downstream of u, at one
+// constant-time label probe per edge. Pruning never changes answers,
+// only work: a deliberately naive automaton-times-BFS oracle
+// (dag.MatchAutomaton, no labels involved) and the production engine
+// are pinned to identical verdicts by TestRPQDifferential across
+// randomized runs and patterns, and TestRPQEndToEnd extends the pin
+// over the wire — including live streaming sessions, which answer
+// /rpq as soon as the streamed prefix describes a complete run (409
+// before that) and byte-identically before and after /finish.
+//
 // # Run lifecycle: create, overwrite, delete, retention
 //
 // With deletion the Backend interface covers the full CRUD cycle, and

@@ -1,0 +1,70 @@
+package dag
+
+// Automaton is the minimal nondeterministic finite automaton interface
+// MatchAutomaton evaluates. internal/rpq's compiled patterns implement
+// it; keeping the interface here lets the naive reference evaluator
+// live beside the other graph traversals without importing the engine
+// it is the oracle for.
+type Automaton interface {
+	// NumStates returns the state count; states are 0..NumStates()-1.
+	NumStates() int
+	// Start returns the initial state.
+	Start() int
+	// Accepting reports whether q accepts.
+	Accepting(q int) bool
+	// AppendEps appends q's epsilon-successors to dst and returns it.
+	AppendEps(dst []int, q int) []int
+	// AppendMove appends q's successors on symbol sym to dst and
+	// returns it.
+	AppendMove(dst []int, q int, sym VertexID) []int
+}
+
+// MatchAutomaton reports whether some directed path from u to v spells a
+// word a accepts, where the word of a path is syms[x] for each vertex x
+// strictly after u — so u == v matches the empty word iff a accepts
+// from its start state through epsilon moves alone.
+//
+// This is the deliberately naive regular-path-query reference
+// evaluator: a plain BFS over (vertex, NFA state) product pairs with no
+// determinization, no label pruning and a dense visited table — the
+// differential oracle the fast engine in internal/rpq is tested
+// against. Keep it obvious, not fast.
+func (g *Graph) MatchAutomaton(u, v VertexID, syms []VertexID, a Automaton) bool {
+	n := g.NumVertices()
+	ns := a.NumStates()
+	if n == 0 || ns == 0 {
+		return false
+	}
+	type pair struct {
+		v VertexID
+		q int
+	}
+	visited := make([]bool, n*ns)
+	var queue []pair
+	push := func(x VertexID, q int) {
+		if idx := int(x)*ns + q; !visited[idx] {
+			visited[idx] = true
+			queue = append(queue, pair{x, q})
+		}
+	}
+	push(u, a.Start())
+	var buf []int
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.v == v && a.Accepting(p.q) {
+			return true
+		}
+		buf = a.AppendEps(buf[:0], p.q)
+		for _, q2 := range buf {
+			push(p.v, q2)
+		}
+		for _, y := range g.Out(p.v) {
+			buf = a.AppendMove(buf[:0], p.q, syms[y])
+			for _, q2 := range buf {
+				push(y, q2)
+			}
+		}
+	}
+	return false
+}

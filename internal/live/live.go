@@ -594,8 +594,31 @@ func parseCheckpoint(data []byte) (seq int, logBytes int64, evs []events.Event, 
 // ready to serve queries. An *IncompleteError means the stream does not
 // yet describe a complete run and the session stays appendable.
 func (s *Session) Finish(scheme label.Scheme) (*store.Session, error) {
-	t := s.execTree()
-	r, _, err := run.Materialize(s.sp, t)
+	r, err := s.MaterializedRun()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.st.PutRunSession(s.name, r, nil, scheme)
+	if err != nil {
+		return nil, err
+	}
+	_ = s.st.DeleteRunEvents(s.name)
+	_ = s.st.Backend().WriteMeta(CheckpointMeta(s.name), nil)
+	return sess, nil
+}
+
+// MaterializedRun rebuilds the run graph the streamed execution tree
+// describes so far — the same materialization Finish seals — and
+// verifies it matches the live vertex numbering (same count, same
+// origin per vertex; guaranteed for Emit-convention streams once every
+// fork and loop site has its copies). Queries that need actual run
+// edges, like regular path queries, evaluate against the result: its
+// vertex IDs are exactly the session's, so the live labels answer
+// reachability for it. An *IncompleteError means the stream does not
+// yet describe a complete run. Callers serialize against appends via
+// the session's run lock (the read side suffices; nothing is mutated).
+func (s *Session) MaterializedRun() (*run.Run, error) {
+	r, _, err := run.Materialize(s.sp, s.execTree())
 	if err != nil {
 		return nil, &IncompleteError{err}
 	}
@@ -607,13 +630,7 @@ func (s *Session) Finish(scheme label.Scheme) (*store.Session, error) {
 			return nil, &IncompleteError{fmt.Errorf("exec order diverges from the materialization order at vertex %d (streams must follow the Emit convention)", v)}
 		}
 	}
-	sess, err := s.st.PutRunSession(s.name, r, nil, scheme)
-	if err != nil {
-		return nil, err
-	}
-	_ = s.st.DeleteRunEvents(s.name)
-	_ = s.st.Backend().WriteMeta(CheckpointMeta(s.name), nil)
-	return sess, nil
+	return r, nil
 }
 
 // execTree rebuilds the run's execution tree from the copy table.

@@ -6,8 +6,10 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/dag"
 	"repro/internal/events"
 	"repro/internal/label"
+	"repro/internal/rpq"
 	"repro/internal/run"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -100,6 +102,27 @@ func CorpusFromStore(st *store.Store, scheme label.Scheme) (*Corpus, error) {
 // harness's default corpus spec).
 func StandInSpec(name string, seed int64) (*spec.Spec, error) {
 	return workload.StandIn(name, seed)
+}
+
+// RPQPatternPool renders n random label-regex patterns for /rpq
+// traffic, deterministic given seed. With a spec the pool draws module
+// names from it, so most patterns reference labels that actually occur
+// in the corpus; with a nil spec (target mode, where the server's
+// module names are unknown) the pool is wildcard-only, which still
+// drives the full parse/determinize/product-evaluate path.
+func RPQPatternPool(sp *spec.Spec, n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var names []string
+	if sp != nil {
+		for v := 0; v < sp.NumVertices(); v++ {
+			names = append(names, string(sp.NameOf(dag.VertexID(v))))
+		}
+	}
+	pats := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		pats = append(pats, rpq.RandomPattern(rng, names, 2))
+	}
+	return pats
 }
 
 // OpenOrCreateStore opens the store at a provserve-style URL

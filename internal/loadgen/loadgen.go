@@ -1,6 +1,6 @@
 // Package loadgen is the open-loop multi-tenant load harness behind
 // cmd/provload: N simulated clients issue a configurable mix of
-// /reachable, /batch, /lineage, PUT, DELETE and streaming-ingest
+// /reachable, /batch, /lineage, /rpq, PUT, DELETE and streaming-ingest
 // traffic against a provserve-compatible HTTP server, with zipfian run
 // popularity, and
 // the harness reports per-endpoint latency histograms, throughput,
@@ -44,12 +44,13 @@ const (
 	OpReachable Op = "reachable"
 	OpBatch     Op = "batch"
 	OpLineage   Op = "lineage"
+	OpRPQ       Op = "rpq"
 	OpPut       Op = "put"
 	OpDelete    Op = "delete"
 	OpStream    Op = "stream"
 )
 
-var allOps = []Op{OpReachable, OpBatch, OpLineage, OpPut, OpDelete, OpStream}
+var allOps = []Op{OpReachable, OpBatch, OpLineage, OpRPQ, OpPut, OpDelete, OpStream}
 
 // Mix weights the traffic classes. Weights are relative; zero disables
 // a class.
@@ -57,6 +58,7 @@ type Mix struct {
 	Reachable int `json:"reachable"`
 	Batch     int `json:"batch"`
 	Lineage   int `json:"lineage"`
+	RPQ       int `json:"rpq"`
 	Put       int `json:"put"`
 	Delete    int `json:"delete"`
 	Stream    int `json:"stream"`
@@ -73,6 +75,8 @@ func (m Mix) weight(op Op) int {
 		return m.Batch
 	case OpLineage:
 		return m.Lineage
+	case OpRPQ:
+		return m.RPQ
 	case OpPut:
 		return m.Put
 	case OpDelete:
@@ -115,6 +119,8 @@ func ParseMix(s string) (Mix, error) {
 			m.Batch = w
 		case OpLineage:
 			m.Lineage = w
+		case OpRPQ:
+			m.RPQ = w
 		case OpPut:
 			m.Put = w
 		case OpDelete:
@@ -168,6 +174,11 @@ type Config struct {
 	WriteNames int
 	// BatchPairs is the number of pairs per /batch request. Default 16.
 	BatchPairs int
+	// RPQPatterns is the pattern pool rpq traffic cycles through (each
+	// request pairs a random pattern with random endpoints on a zipfian-
+	// chosen run). Build one with rpq.RandomPattern over the spec's
+	// module names. Required when RPQ has weight.
+	RPQPatterns []string
 	// StreamBatches is the pre-rendered event-batch script stream
 	// traffic cycles through: each client drives its own live run
 	// ("stream-<client>") by appending the batches in order, sealing the
@@ -322,9 +333,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 4 * cfg.Clients
 	}
-	readWeight := cfg.Mix.Reachable + cfg.Mix.Batch + cfg.Mix.Lineage
+	readWeight := cfg.Mix.Reachable + cfg.Mix.Batch + cfg.Mix.Lineage + cfg.Mix.RPQ
 	if readWeight > 0 && len(cfg.Runs) == 0 {
 		return nil, errors.New("loadgen: read traffic weighted but Config.Runs is empty")
+	}
+	if cfg.Mix.RPQ > 0 && len(cfg.RPQPatterns) == 0 {
+		return nil, errors.New("loadgen: rpq traffic weighted but Config.RPQPatterns is empty")
 	}
 	if cfg.Mix.Put > 0 && len(cfg.PutBodies) == 0 {
 		return nil, errors.New("loadgen: put traffic weighted but Config.PutBodies is empty")
@@ -655,6 +669,17 @@ func (w *worker) buildRequest(op Op) request {
 		}
 		return request{method: http.MethodGet,
 			url: fmt.Sprintf("%s/lineage?run=%s&vertex=%d&dir=%s", w.base, r.Name, w.rng.Intn(r.Vertices), dir)}
+	case OpRPQ:
+		r := w.pickRun()
+		pattern := w.cfg.RPQPatterns[w.rng.Intn(len(w.cfg.RPQPatterns))]
+		body, _ := json.Marshal(map[string]string{
+			"run":     r.Name,
+			"from":    strconv.Itoa(w.rng.Intn(r.Vertices)),
+			"to":      strconv.Itoa(w.rng.Intn(r.Vertices)),
+			"pattern": pattern,
+		})
+		return request{method: http.MethodPost, url: w.base + "/rpq",
+			body: body, contentType: "application/json"}
 	case OpPut:
 		body := w.cfg.PutBodies[w.putSeq%len(w.cfg.PutBodies)]
 		w.putSeq++
@@ -759,7 +784,7 @@ func evaluateSLO(slo *SLO, rep *Report) *SLOReport {
 	}
 	if slo.ReadP99 > 0 {
 		limit := float64(slo.ReadP99.Microseconds())
-		for _, op := range []Op{OpReachable, OpBatch, OpLineage} {
+		for _, op := range []Op{OpReachable, OpBatch, OpLineage, OpRPQ} {
 			if actual, ok := p99(op); ok {
 				check(string(op)+"_p99_us", limit, actual, actual <= limit)
 			}

@@ -1,0 +1,58 @@
+package rpq
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// RandomPattern returns a random, always-compilable pattern over the
+// given label names: the generator behind the differential test battery
+// and the load harness's rpq traffic class. maxDepth bounds group
+// nesting; an empty name list falls back to wildcards.
+func RandomPattern(rng *rand.Rand, names []string, maxDepth int) string {
+	var b strings.Builder
+	randExpr(rng, &b, names, maxDepth)
+	return b.String()
+}
+
+func randExpr(rng *rand.Rand, b *strings.Builder, names []string, depth int) {
+	terms := 1
+	if rng.Intn(3) == 0 {
+		terms = 2 + rng.Intn(2)
+	}
+	for i := 0; i < terms; i++ {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if terms > 1 && rng.Intn(8) == 0 {
+			continue // an empty alternative: matches the empty word
+		}
+		randTerm(rng, b, names, depth)
+	}
+}
+
+func randTerm(rng *rand.Rand, b *strings.Builder, names []string, depth int) {
+	factors := 1 + rng.Intn(3)
+	for i := 0; i < factors; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		randFactor(rng, b, names, depth)
+	}
+}
+
+func randFactor(rng *rand.Rand, b *strings.Builder, names []string, depth int) {
+	switch {
+	case depth > 0 && rng.Intn(4) == 0:
+		b.WriteByte('(')
+		randExpr(rng, b, names, depth-1)
+		b.WriteByte(')')
+	case len(names) == 0 || rng.Intn(5) == 0:
+		b.WriteByte('.')
+	default:
+		b.WriteString(names[rng.Intn(len(names))])
+	}
+	if rng.Intn(5) < 2 {
+		b.WriteByte("*+?"[rng.Intn(3)])
+	}
+}

@@ -157,6 +157,10 @@ type Config struct {
 	// while the breaker is open — and the Retry-After clients are told.
 	// <= 0 defaults to 500ms.
 	BreakerCooldown time.Duration
+	// RPQMaxDFAStates caps how many DFA states one POST /rpq
+	// evaluation may lazily determinize before the pattern is rejected
+	// as pathological (400). <= 0 uses rpq.DefaultMaxDFAStates.
+	RPQMaxDFAStates int
 }
 
 // Server answers provenance queries over one store. It is an
@@ -170,6 +174,7 @@ type Server struct {
 	ingest         bool
 	maxIngestBytes int64
 	maxRuns        int
+	rpqMaxStates   int
 	logf           func(format string, args ...any)
 	runMu          runLocks
 	adm            *admission
@@ -204,7 +209,7 @@ type Server struct {
 // lost in transit appear as a gap between served and completed.
 type servedCounters struct {
 	healthz, specs, runs, reachable, batch, lineage, ingest, delete atomic.Int64
-	events, finish, status, other                                   atomic.Int64
+	events, finish, status, rpq, other                              atomic.Int64
 }
 
 // counterFor maps one request to its endpoint counter.
@@ -222,6 +227,8 @@ func (c *servedCounters) counterFor(r *http.Request) *atomic.Int64 {
 		return &c.batch
 	case r.URL.Path == "/lineage":
 		return &c.lineage
+	case r.URL.Path == "/rpq":
+		return &c.rpq
 	case strings.HasPrefix(r.URL.Path, "/runs/"):
 		switch {
 		case r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/events"):
@@ -252,6 +259,7 @@ func (c *servedCounters) snapshot() map[string]int64 {
 		"events":    c.events.Load(),
 		"finish":    c.finish.Load(),
 		"status":    c.status.Load(),
+		"rpq":       c.rpq.Load(),
 		"other":     c.other.Load(),
 	}
 }
@@ -311,6 +319,7 @@ func New(cfg Config) (*Server, error) {
 		ingest:         cfg.EnableIngest,
 		maxIngestBytes: cfg.MaxIngestBytes,
 		maxRuns:        cfg.MaxRuns,
+		rpqMaxStates:   cfg.RPQMaxDFAStates,
 		logf:           cfg.Logf,
 		adm:            newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.RatePerClient, cfg.RateBurst),
 		mux:            http.NewServeMux(),
@@ -348,6 +357,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/reachable", s.handleReachable)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/lineage", s.handleLineage)
+	s.mux.HandleFunc("/rpq", s.handleRPQ)
 	return s, nil
 }
 

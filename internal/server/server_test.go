@@ -669,6 +669,8 @@ func TestServedCounters(t *testing.T) {
 	do(t, s, http.MethodGet, "/runs/alpha", "", nil)         // status endpoint
 	do(t, s, http.MethodPost, "/runs/alpha/events", "", nil) // 403: stream off
 	do(t, s, http.MethodPost, "/runs/alpha/finish", "", nil) // 403: stream off
+	do(t, s, http.MethodPost, "/rpq", `{"run":"alpha","from":"0","to":"1","pattern":".*"}`, nil)
+	do(t, s, http.MethodPost, "/rpq", `{"run":"alpha","from":"0","to":"1","pattern":"((("}`, nil) // 400 still counts
 
 	var health struct {
 		Served map[string]int64 `json:"served"`
@@ -677,7 +679,7 @@ func TestServedCounters(t *testing.T) {
 	want := map[string]int64{
 		"reachable": 2, "batch": 1, "runs": 1, "specs": 1,
 		"lineage": 1, "delete": 1, "healthz": 1, "put": 0, "other": 0,
-		"status": 1, "events": 1, "finish": 1,
+		"status": 1, "events": 1, "finish": 1, "rpq": 2,
 	}
 	for k, v := range want {
 		if health.Served[k] != v {

@@ -1,0 +1,94 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/rpq"
+)
+
+// specModuleNames collects every module name of a specification, the
+// symbol alphabet RandomPattern draws from.
+func specModuleNames(s *repro.Spec) []string {
+	names := make([]string, 0, s.NumVertices())
+	for v := 0; v < s.NumVertices(); v++ {
+		names = append(names, string(s.NameOf(repro.VertexID(v))))
+	}
+	return names
+}
+
+// TestRPQDifferential is the regular-path-query capstone: for random
+// runs over random series-parallel/fork specifications and random
+// label regexes, three independent evaluators must agree on every
+// sampled (pattern, pair) case:
+//
+//  1. the naive oracle — plain BFS over (vertex, NFA-state) product
+//     pairs with no labels involved (dag.MatchAutomaton),
+//  2. the production engine — lazy DFA over the same NFA, product walk
+//     pruned by skeleton-label reachability,
+//  3. the same engine with pruning disabled (reach = nil), isolating
+//     the determinization from the pruning.
+//
+// The oracle's only moving parts are the Thompson NFA itself, so any
+// divergence pins the bug to determinization or to an unsound prune.
+func TestRPQDifferential(t *testing.T) {
+	total := 0
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		var s *repro.Spec
+		if trial%3 == 0 {
+			s = repro.PaperSpec()
+		} else {
+			var err error
+			s, err = repro.SynthesizeSpec(rng, 15+rng.Intn(25), 25+rng.Intn(25), 4, 3)
+			if err != nil {
+				continue // infeasible draw
+			}
+		}
+		r, _ := repro.GenerateRun(s, rng, 60+rng.Intn(140))
+		l, err := repro.LabelRun(r, repro.TCM)
+		if err != nil {
+			t.Fatalf("trial %d: labeling: %v", trial, err)
+		}
+		names := specModuleNames(s)
+		lookup := func(name string) (repro.VertexID, bool) {
+			return s.VertexOf(repro.ModuleName(name))
+		}
+		n := r.NumVertices()
+		for p := 0; p < 6; p++ {
+			pat := rpq.RandomPattern(rng, names, 3)
+			prog, err := rpq.Compile(pat, lookup)
+			if err != nil {
+				t.Fatalf("trial %d: generated pattern %q does not compile: %v", trial, pat, err)
+			}
+			// One matcher per pattern, reused across pairs: the DFA
+			// cache persisting between Eval calls is part of what is
+			// under test.
+			pruned := rpq.NewMatcher(prog, 0)
+			plain := rpq.NewMatcher(prog, 0)
+			for q := 0; q < 8; q++ {
+				u := repro.VertexID(rng.Intn(n))
+				v := repro.VertexID(rng.Intn(n))
+				want := r.Graph.MatchAutomaton(u, v, r.Origin, prog)
+				got, err := pruned.Eval(r.Graph, r.Origin, l.Reachable, u, v)
+				if err != nil {
+					t.Fatalf("trial %d: pruned eval %q (%d,%d): %v", trial, pat, u, v, err)
+				}
+				unp, err := plain.Eval(r.Graph, r.Origin, nil, u, v)
+				if err != nil {
+					t.Fatalf("trial %d: unpruned eval %q (%d,%d): %v", trial, pat, u, v, err)
+				}
+				if got != want || unp != want {
+					t.Fatalf("trial %d: divergence on %q over run of %d vertices at (%d,%d): oracle=%v pruned=%v unpruned=%v",
+						trial, pat, n, u, v, want, got, unp)
+				}
+				total++
+			}
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("only %d (pattern, pair) cases exercised, want >= 1000", total)
+	}
+	t.Logf("%d (pattern, pair) cases agreed across oracle, pruned and unpruned evaluators", total)
+}

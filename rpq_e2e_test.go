@@ -1,0 +1,203 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/rpq"
+)
+
+// postRPQ sends one POST /rpq and returns the status plus the exact
+// response body, for byte-level differential comparison.
+func postRPQ(t *testing.T, base, run, from, to, pattern string) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(map[string]string{
+		"run": run, "from": from, "to": to, "pattern": pattern,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/rpq", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestRPQEndToEnd is the over-the-wire RPQ differential test: one
+// provserve is populated by streaming a run's engine event log while a
+// second ingests the same run whole via PUT /runs/{name}. POST /rpq
+// must answer byte-identically on both servers — and on the streaming
+// server the answers over the still-live (but fully streamed) session
+// must be byte-identical to the answers after /finish seals it. Every
+// decoded verdict is also checked against the in-process engine, so
+// the HTTP layer is compared against the differential battery's
+// ground truth, not just against itself.
+func TestRPQEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	s := repro.PaperSpec()
+	if _, err := repro.CreateStore(filepath.Join(dir, "seed"), s, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	bin := buildProvserve(t, dir)
+	streamed := startProvserve(t, bin, "-store", "mem://"+filepath.Join(dir, "seed"), "-stream")
+	direct := startProvserve(t, bin, "-store", "mem://"+filepath.Join(dir, "seed"), "-ingest")
+
+	rng := rand.New(rand.NewSource(41))
+	r, p := repro.GenerateRun(s, rng, 120)
+	evs := repro.EmitEvents(r, p)
+
+	// The reference: the same run PUT whole on the direct server.
+	var doc bytes.Buffer
+	if err := repro.WriteRunXML(&doc, r, nil, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	if status, body := putRunDoc(t, direct.base, "r", doc.String()); status != 200 {
+		t.Fatalf("PUT /runs/r: %d %v", status, body)
+	}
+
+	appendEvents := func(from, to int) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := repro.WriteEventLog(&buf, evs[from:to]); err != nil {
+			t.Fatal(err)
+		}
+		if status, resp := postEvents(t, streamed.base, "r", from, buf.Bytes()); status != 200 {
+			t.Fatalf("append [%d,%d): %d %v", from, to, status, resp)
+		}
+	}
+
+	// Mid-stream the event prefix usually does not describe a complete
+	// run yet; /rpq must then refuse with 409 — never a 5xx — and when
+	// the prefix happens to be complete it must answer 200.
+	mid := 2 * len(evs) / 3
+	appendEvents(0, mid)
+	status, body := postRPQ(t, streamed.base, "r", "0", "1", ".*")
+	if status != 200 && status != 409 {
+		t.Fatalf("mid-stream /rpq: status %d (want 200 or 409): %s", status, body)
+	}
+
+	// Stream the rest: the run is now live AND complete, so /rpq must
+	// answer — the session's online labels prune the product walk.
+	appendEvents(mid, len(evs))
+
+	names := specModuleNames(s)
+	patterns := []string{
+		".*",
+		".",
+		"()",
+		names[0],
+		fmt.Sprintf(".* %s .*", names[len(names)/2]),
+		fmt.Sprintf("(%s|%s)* .*", names[0], names[1%len(names)]),
+		rpq.RandomPattern(rng, names, 2),
+		rpq.RandomPattern(rng, names, 3),
+	}
+	n := r.NumVertices()
+	var pairs [][2]int
+	for u := 0; u < n; u += 17 {
+		for v := 0; v < n; v += 13 {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+
+	sweep := func(base string) []string {
+		t.Helper()
+		var out []string
+		for _, pat := range patterns {
+			for _, pr := range pairs {
+				status, body := postRPQ(t, base, "r", fmt.Sprint(pr[0]), fmt.Sprint(pr[1]), pat)
+				if status != 200 {
+					t.Fatalf("POST /rpq %q (%d,%d) on %s: status %d: %s", pat, pr[0], pr[1], base, status, body)
+				}
+				out = append(out, body)
+			}
+		}
+		return out
+	}
+
+	liveAnswers := sweep(streamed.base)
+
+	// Seal the run; the same sweep must answer byte-identically — the
+	// live and stored paths are one engine behind two resolutions.
+	fin, err := http.Post(streamed.base+"/runs/r/finish", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin.Body.Close()
+	if fin.StatusCode != 200 {
+		t.Fatalf("finish: status %d", fin.StatusCode)
+	}
+	finishedAnswers := sweep(streamed.base)
+	directAnswers := sweep(direct.base)
+
+	l, err := repro.LabelRun(r, repro.TCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(name string) (repro.VertexID, bool) {
+		return s.VertexOf(repro.ModuleName(name))
+	}
+	i := 0
+	for _, pat := range patterns {
+		prog, err := rpq.Compile(pat, lookup)
+		if err != nil {
+			t.Fatalf("pattern %q: %v", pat, err)
+		}
+		m := rpq.NewMatcher(prog, 0)
+		for _, pr := range pairs {
+			if liveAnswers[i] != finishedAnswers[i] {
+				t.Fatalf("%q (%d,%d): live %s != finished %s", pat, pr[0], pr[1], liveAnswers[i], finishedAnswers[i])
+			}
+			if finishedAnswers[i] != directAnswers[i] {
+				t.Fatalf("%q (%d,%d): streamed %s != direct %s", pat, pr[0], pr[1], finishedAnswers[i], directAnswers[i])
+			}
+			want, err := m.Eval(r.Graph, r.Origin, l.Reachable, repro.VertexID(pr[0]), repro.VertexID(pr[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded struct {
+				Match bool `json:"match"`
+			}
+			if err := json.Unmarshal([]byte(directAnswers[i]), &decoded); err != nil {
+				t.Fatalf("%q (%d,%d): undecodable body %s: %v", pat, pr[0], pr[1], directAnswers[i], err)
+			}
+			if decoded.Match != want {
+				t.Fatalf("%q (%d,%d): server says %v, in-process engine says %v", pat, pr[0], pr[1], decoded.Match, want)
+			}
+			i++
+		}
+	}
+
+	// The CLI speaks the same protocol.
+	out := runTool(t, "provquery", "-rpq", direct.base, "-run", "r", "-from", "0", "-to", fmt.Sprint(n-1), "-pattern", ".*")
+	if !strings.Contains(out, "path matches") {
+		t.Fatalf("provquery -rpq output unexpected:\n%s", out)
+	}
+
+	// Hostile inputs over the wire are client errors, never engine
+	// failures.
+	for _, bad := range []struct{ pattern string }{
+		{"(a"}, {"[a-z]"}, {"a{3}"}, {strings.Repeat("x", rpq.MaxPatternLen+1)},
+	} {
+		status, body := postRPQ(t, direct.base, "r", "0", "1", bad.pattern)
+		if status != 400 {
+			t.Fatalf("bad pattern %.20q: status %d (want 400): %s", bad.pattern, status, body)
+		}
+	}
+}
