@@ -10,9 +10,9 @@ ADDR ?= :8080
 # perf lineage cmd/benchtrend renders and gates on. Bump it (and check
 # in a fresh baseline: `make bench-json` with the old number, then move
 # the "benches" map into bench/BASELINE_<new>.json) once per PR.
-PR ?= 9
+PR ?= 10
 
-.PHONY: build test race bench bench-store bench-json trend load-smoke chaos-smoke rpq-smoke fmt vet serve ci
+.PHONY: build test race bench bench-store bench-json trend load-smoke chaos-smoke rpq-smoke lint fmt vet serve ci
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,14 @@ rpq-smoke:
 		-slo-error-rate 0 -fail-on-slo -quiet -report RPQ_LOAD.json
 	@echo "rpq-smoke: report in RPQ_LOAD.json"
 
+# Static analysis: cmd/provlint runs the repo-specific analyzer suite
+# (internal/lint — %w wrapping in the store, documented lock discipline,
+# route/counter registration, seeded randomness, never-dropped storage
+# errors) over the whole module, fails on unsuppressed findings, and
+# writes the provlint.v1 report CI uploads as an artifact.
+lint:
+	$(GO) run ./cmd/provlint -o LINT.json
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -100,4 +108,4 @@ vet:
 serve:
 	$(GO) run ./cmd/provserve -store $(STORE) -addr $(ADDR)
 
-ci: fmt vet build race bench bench-store load-smoke chaos-smoke rpq-smoke
+ci: fmt vet lint build race bench bench-store load-smoke chaos-smoke rpq-smoke

@@ -1,0 +1,144 @@
+// Command provlint runs the repo's static-analysis suite
+// (internal/lint) over the whole module and fails on findings. It is
+// the mechanical enforcement of the cross-file conventions the system's
+// guarantees rest on: %w error wrapping in the store (so transient
+// classification survives), documented lock discipline, endpoint
+// counter registration, seeded randomness, and never-dropped storage
+// errors.
+//
+// Usage:
+//
+//	provlint [-json] [-only a,b] [-suppressed] [-list] [-o report.json] [dir]
+//
+// dir (default ".") is any directory inside the module; provlint walks
+// up to go.mod and lints every package under the module root. Exit
+// codes: 0 clean, 1 unsuppressed findings, 2 usage or load failure.
+//
+// Findings are suppressed line-by-line with
+//
+//	//provlint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit the provlint.v1 JSON report on stdout instead of text")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	showSuppressed := flag.Bool("suppressed", false, "also print suppressed findings (text mode; JSON always carries them)")
+	list := flag.Bool("list", false, "list analyzers and their invariants, then exit")
+	outFile := flag.String("o", "", "also write the JSON report to this file")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "provlint: at most one directory argument")
+		return 2
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlint:", err)
+		return 2
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlint:", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers, root)
+	report := lint.NewReport(loader.Module(), analyzers, len(pkgs), diags)
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "provlint:", err)
+			return 2
+		}
+		werr := report.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "provlint:", werr)
+			return 2
+		}
+	}
+
+	findings := lint.Unsuppressed(diags)
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "provlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if d.Suppressed && !*showSuppressed {
+				continue
+			}
+			if d.Suppressed {
+				fmt.Printf("%s (suppressed: %s)\n", d, d.Reason)
+			} else {
+				fmt.Println(d)
+			}
+		}
+		fmt.Printf("provlint: %d packages, %d findings (%d suppressed)\n",
+			len(pkgs), len(findings), len(diags)-len(findings))
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -338,6 +338,19 @@
 // runs the gate on every push and uploads BENCH_<n>.json and TREND.md
 // as artifacts; `make ci` mirrors the rest of the pipeline locally.
 //
+// # Static analysis: mechanically enforced invariants
+//
+// The conventions those guarantees rest on — %w wrapping inside the
+// store (so errors.Is transient classification survives), documented
+// mutex guards, route/counter registration on /healthz, seeded
+// randomness, never-dropped storage errors — are enforced by a
+// stdlib-only static-analysis suite: `make lint` / cmd/provlint, with
+// TestLintRepoClean running the same analyzers as a tier-1 test.
+// Exceptions are declared at the site as
+// `//provlint:ignore <analyzer> <reason>` with a mandatory reason.
+// internal/lint's package documentation ("# Enforced invariants")
+// explains why each invariant is load-bearing.
+//
 // For macro numbers, cmd/provload drives a real server (or a
 // self-served in-process one) with open-loop multi-tenant load —
 // zipfian run popularity, configurable traffic mix — and emits latency

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr forbids discarding storage errors into the blank
+// identifier: an assignment whose `_` swallows an error returned by a
+// function or method of repro/internal/store (the Store/Backend
+// surface, the retry wrapper, faultinject) in non-test code. The
+// failure contract from PR 8 only works end to end if every backend
+// error reaches a classifier — a dropped error is a transient fault the
+// retry layer never saw, a breaker strike never counted, and in the
+// worst case a silent write loss. Genuinely best-effort cleanups must
+// say so with a //provlint:ignore directive, which makes the judgment
+// call reviewable instead of invisible.
+type DroppedErr struct{}
+
+func (DroppedErr) Name() string { return "droppederr" }
+
+func (DroppedErr) Doc() string {
+	return "errors returned by repro/internal/store APIs are never _-discarded in non-test code"
+}
+
+// droppedErrScope: calls whose callee is declared in this package (or a
+// subpackage) are storage calls. Interface method calls resolve to the
+// declaring package, so Backend implementations wrapped in retry or
+// fault injection are covered through the interface they serve.
+const droppedErrScope = "repro/internal/store"
+
+func storeCall(info *types.Info, e ast.Expr) (*types.Func, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	fn := funcFor(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, false
+	}
+	path := fn.Pkg().Path()
+	if path != droppedErrScope && !strings.HasPrefix(path, droppedErrScope+"/") {
+		return nil, false
+	}
+	return fn, true
+}
+
+func (DroppedErr) Check(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch {
+			case len(assign.Rhs) == 1:
+				// `_ = call()` or `a, _, err := call()`: result i of the
+				// call's (possibly tuple) type feeds Lhs[i].
+				fn, ok := storeCall(pkg.Info, assign.Rhs[0])
+				if !ok {
+					return true
+				}
+				results := resultTypes(pkg.Info, assign.Rhs[0])
+				for i, lhs := range assign.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && i < len(results) && isErrorType(results[i]) {
+						report(lhs.Pos(),
+							"error from %s.%s discarded into _; handle it, or //provlint:ignore droppederr with the reason it is best-effort",
+							fn.Pkg().Name(), fn.Name())
+					}
+				}
+			default:
+				// `a, _ = f(), g()`: each Rhs maps 1:1 onto its Lhs.
+				for i, lhs := range assign.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" || i >= len(assign.Rhs) {
+						continue
+					}
+					fn, ok := storeCall(pkg.Info, assign.Rhs[i])
+					if !ok {
+						continue
+					}
+					if isErrorType(pkg.Info.Types[ast.Unparen(assign.Rhs[i])].Type) {
+						report(lhs.Pos(),
+							"error from %s.%s discarded into _; handle it, or //provlint:ignore droppederr with the reason it is best-effort",
+							fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// resultTypes flattens a call expression's result tuple.
+func resultTypes(info *types.Info, e ast.Expr) []types.Type {
+	t := info.Types[ast.Unparen(e)].Type
+	if t == nil {
+		return nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// ErrWrap enforces the storage layer's error-classification invariant:
+// inside repro/internal/store and its subpackages, every fmt.Errorf
+// that formats an error-typed argument must use the %w verb, never
+// %v/%s/%q. The resilience stack — store.IsTransient, store.WithRetry,
+// the server circuit breaker — classifies failures with errors.Is
+// through the wrap chain; a %v wrap flattens the error to text, the
+// store.ErrTransient sentinel disappears, and retry/breaker silently
+// treat a transient fault as permanent (or vice versa).
+type ErrWrap struct{}
+
+func (ErrWrap) Name() string { return "errwrap" }
+
+func (ErrWrap) Doc() string {
+	return "fmt.Errorf in repro/internal/store/... must wrap error arguments with %w (not %v/%s/%q) so errors.Is classification survives"
+}
+
+// errWrapScope is the import-path prefix the invariant governs.
+const errWrapScope = "repro/internal/store"
+
+func (ErrWrap) Check(pkg *Package, report Reporter) {
+	if pkg.Path != errWrapScope && !strings.HasPrefix(pkg.Path, errWrapScope+"/") {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pkg.Info, call)
+			if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			format := constant.StringVal(tv.Value)
+			for _, v := range parseVerbs(format) {
+				argIdx := 1 + v.arg // args[0] is the format string
+				if v.verb == 'w' || argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				if !isErrorType(pkg.Info.Types[arg].Type) {
+					continue
+				}
+				if v.verb == 'v' || v.verb == 's' || v.verb == 'q' {
+					report(arg.Pos(),
+						"fmt.Errorf formats an error with %%%c; wrap with %%w so errors.Is sees through it (store error classification)",
+						v.verb)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// verb is one conversion in a format string mapped to the variadic
+// argument index it consumes (0-based over the args after the format).
+type verb struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs walks a fmt format string and assigns each conversion its
+// argument, honoring flags, star width/precision (each star consumes an
+// argument) and explicit [n] argument indexes.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(runes) && strings.ContainsRune("+-# 0", runes[i]) {
+			i++
+		}
+		// Width.
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// Explicit argument index [n].
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verb{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}

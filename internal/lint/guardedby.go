@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy makes the repo's documented lock discipline checkable. A
+// struct field annotated
+//
+//	field T // guarded by mu
+//
+// (in its doc or trailing comment; mu names a sibling mutex, "c.mu"
+// forms allowed) may only be selected — read or written — inside a
+// function that either locks that mutex (a mu.Lock/RLock/TryLock call
+// anywhere in its body, closures included) or declares in its doc
+// comment that the caller already holds it ("caller holds c.mu", "mu
+// must be held", ...Locked-suffix helpers with such docs). The check is
+// function-granular, not path-sensitive: it cannot see that an access
+// happens after an Unlock, but it catches the dominant failure mode —
+// a new method or a refactor touching guarded state with no locking at
+// all — which is exactly how cache/breaker/admission races would enter.
+type GuardedBy struct{}
+
+func (GuardedBy) Name() string { return "guardedby" }
+
+func (GuardedBy) Doc() string {
+	return "fields commented 'guarded by <mu>' are only accessed in functions that lock <mu> or document that the caller holds it"
+}
+
+// identPath matches a dotted identifier path ("mu", "c.mu") without
+// swallowing a sentence-ending period.
+const identPath = `[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*`
+
+var (
+	guardedRe = regexp.MustCompile(`guarded by\s+(` + identPath + `)`)
+	// holdsRe matches doc-comment claims that the lock is the caller's
+	// responsibility: "caller holds c.mu", "holding mu", "mu is held",
+	// "mu must be held", "with mu held".
+	holdsRe = []*regexp.Regexp{
+		regexp.MustCompile(`(?i)\bhold(?:s|ing)?\s+(?:the\s+)?(` + identPath + `)`),
+		regexp.MustCompile(`(?i)\b(` + identPath + `)\s+(?:is\s+|must\s+be\s+|already\s+)*held\b`),
+	}
+)
+
+// guardName reduces an annotation like "c.mu" to the mutex field name.
+func guardName(s string) string {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func (GuardedBy) Check(pkg *Package, report Reporter) {
+	// Pass 1: guarded field objects, by annotation.
+	guards := make(map[types.Object]string) // field object -> mutex name
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+						mu = guardName(m[1])
+					}
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	// Pass 2: every function body, with the set of mutex names it locks
+	// or declares held.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := make(map[string]bool)
+			if fn.Doc != nil {
+				doc := fn.Doc.Text()
+				for _, re := range holdsRe {
+					for _, m := range re.FindAllStringSubmatch(doc, -1) {
+						held[guardName(m[1])] = true
+					}
+				}
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					if mu := lastIdent(sel.X); mu != "" {
+						held[mu] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[sel.Sel]
+				if obj == nil {
+					return true
+				}
+				mu, guarded := guards[obj]
+				if !guarded || held[mu] {
+					return true
+				}
+				report(sel.Sel.Pos(),
+					"field %s is guarded by %s, but %s neither locks %s nor documents that the caller holds it",
+					obj.Name(), mu, fn.Name.Name, mu)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Loader parses and type-checks the module's packages with nothing but
+// the standard library: module-internal imports resolve against the
+// module root, everything else is compiled from GOROOT source by
+// go/importer's "source" mode (offline by construction — this module
+// has zero dependencies, so any other import path is a bug). Loaded
+// packages are cached, so a whole-module run type-checks each package
+// and each stdlib dependency exactly once.
+type Loader struct {
+	fset   *token.FileSet
+	module string
+	root   string
+	std    types.ImporterFrom
+
+	mu   sync.Mutex // guards pkgs and loading against concurrent Load calls
+	pkgs map[string]*Package
+}
+
+// The source importer compiles stdlib packages from GOROOT source and
+// cannot process cgo files; forcing cgo off selects the pure-Go
+// fallbacks (netgo, osusergo) every package here is buildable with.
+var cgoOff = sync.OnceFunc(func() { build.Default.CgoEnabled = false })
+
+// NewLoader builds a Loader for the module rooted at root (the
+// directory holding go.mod, from which the module path is read).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	cgoOff()
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Loader{
+		fset:   fset,
+		module: module,
+		root:   abs,
+		std:    std,
+		pkgs:   make(map[string]*Package),
+	}, nil
+}
+
+// Module returns the module path from go.mod.
+func (l *Loader) Module() string { return l.module }
+
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if path := strings.TrimSpace(rest); path != "" {
+				return strings.Trim(path, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Import implements types.Importer over the module + stdlib split, so
+// type-checking one package pulls its module-internal dependencies
+// through the same loader (and cache).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Load type-checks the module package with the given import path
+// (the module path itself or module/<dir>), cached.
+func (l *Loader) Load(path string) (*Package, error) {
+	l.mu.Lock()
+	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker; module packages cannot import cyclically
+	l.mu.Unlock()
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	pkg, err := l.loadDir(filepath.Join(l.root, filepath.FromSlash(rel)), path)
+
+	l.mu.Lock()
+	if err != nil {
+		delete(l.pkgs, path)
+	} else {
+		l.pkgs[path] = pkg
+	}
+	l.mu.Unlock()
+	return pkg, err
+}
+
+// LoadDir type-checks the package in dir under an explicit import path
+// without touching the cache — the fixture-test entry point, so a
+// fixture can impersonate a scoped path (e.g. live under testdata but
+// type-check as a repro/internal/store subpackage).
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	return l.loadDir(dir, asPath)
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no non-test Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, nil
+}
+
+// LoadAll walks the module tree and loads every package that has at
+// least one non-test Go file. Directories named testdata, hidden and
+// underscore-prefixed directories, and non-package directories (bench,
+// .github, stores on disk) are skipped the same way the go tool skips
+// them.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		hasGo, err := dirHasGo(p)
+		if err != nil {
+			return err
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.module)
+		} else {
+			paths = append(paths, l.module+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// dirHasGo reports whether dir directly contains a non-test Go file.
+func dirHasGo(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

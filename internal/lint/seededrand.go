@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces the determinism discipline behind the repo's
+// byte-deterministic answers and reproducible chaos runs: non-test code
+// never calls math/rand's top-level convenience functions (rand.Intn,
+// rand.Float64, ...), which draw from the process-global, startup-seeded
+// source. Synthetic specs, fault-injection decisions, zipfian load
+// sampling and RPQ pattern generation must all flow from an explicitly
+// seeded *rand.Rand so a failing run can be replayed from its seed —
+// the /rpq differential battery and the fault:// plans (seed=N) depend
+// on it. Constructors (rand.New, rand.NewSource, rand.NewZipf) are the
+// sanctioned way in and stay allowed. Test files are exempt by
+// construction (the loader never parses _test.go).
+type SeededRand struct{}
+
+func (SeededRand) Name() string { return "seededrand" }
+
+func (SeededRand) Doc() string {
+	return "non-test code draws randomness from an explicitly seeded *rand.Rand, never math/rand's global-source top-level functions"
+}
+
+// seededRandAllowed are the math/rand package-level functions that do
+// not touch the global source.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func (SeededRand) Check(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand (and Source/Zipf) are the seeded,
+			// reproducible path — only package-level functions draw from
+			// the global source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if seededRandAllowed[fn.Name()] {
+				return true
+			}
+			report(call.Fun.Pos(),
+				"rand.%s draws from the process-global source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so runs are reproducible",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,29 @@
+// Package droppederr is the droppederr analyzer's golden fixture: it
+// imports the real repro/internal/store package and discards errors
+// from its API in every shape the analyzer must catch — plus the
+// handled and justified-suppression shapes it must not.
+package droppederr
+
+import "repro/internal/store"
+
+func cleanup(st *store.Store, b store.Backend) error {
+	_ = st.DeleteRun("x") //lintwant droppederr
+
+	_ = b.WriteMeta(".meta", nil) //lintwant droppederr
+
+	// Multi-result call with the error position blanked.
+	names, _ := b.ListRuns() //lintwant droppederr
+	_ = names
+
+	// Handled: no finding.
+	if err := st.DeleteRun("y"); err != nil {
+		return err
+	}
+
+	// Justified best-effort drop: suppressed, visible in the JSON
+	// report with its reason.
+	//provlint:ignore droppederr fixture demonstrates a justified best-effort drop
+	_ = st.DeleteRun("z") //lintwant droppederr suppressed
+
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package lintfixture is the errwrap analyzer's golden fixture: it is
+// loaded by lint_test.go under the import path
+// repro/internal/store/lintfixture so the store-scoped invariant
+// applies. The lintwant comments mark the lines the analyzer must flag.
+package lintfixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// flattened wraps with %v: errors.Is can no longer see errBase, which
+// is exactly the bug that defeats transient classification.
+func flattened(err error) error {
+	return fmt.Errorf("op failed: %v", err) //lintwant errwrap
+}
+
+// stringified is the %s variant, with a non-error arg in front to
+// exercise verb/argument pairing.
+func stringified(err error) error {
+	return fmt.Errorf("op %s failed: %s", "read", err) //lintwant errwrap
+}
+
+// quoted exercises %q and a star width consuming an argument.
+func quoted(err error) error {
+	return fmt.Errorf("pad %*d op: %q", 8, 1, err) //lintwant errwrap
+}
+
+// wrapped is the sanctioned form.
+func wrapped(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// textOnly formats a plain string with %v — no error argument, no
+// finding.
+func textOnly(detail string) error {
+	return fmt.Errorf("op failed: %v", detail)
+}
+
+// classified is why this matters: it must keep working through every
+// wrap in this package.
+func classified(err error) bool {
+	return errors.Is(err, errBase)
+}

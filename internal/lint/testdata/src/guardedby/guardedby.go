@@ -1,0 +1,61 @@
+// Package guardedby is the guardedby analyzer's golden fixture: a
+// struct with an annotated field, one compliant accessor, one
+// documented caller-holds helper, and one racy accessor the analyzer
+// must flag.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hits is annotated with the dotted form.
+	hits int // guarded by c.mu
+	free int // unguarded on purpose
+}
+
+// newCounter initializes via composite literal — construction before
+// the value is shared needs no lock and must not be flagged.
+func newCounter() *counter {
+	return &counter{n: 1, hits: 0}
+}
+
+// racyRead touches n with no lock and no caller-holds doc: the finding.
+func (c *counter) racyRead() int {
+	return c.n //lintwant guardedby
+}
+
+// racyWrite is the write-side finding, through the dotted annotation.
+func (c *counter) racyWrite() {
+	c.hits++ //lintwant guardedby
+}
+
+// locked is the compliant accessor.
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	return c.n
+}
+
+// bumpLocked increments n; the caller holds c.mu.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// unguarded reads a field with no annotation — never flagged.
+func (c *counter) unguarded() int {
+	return c.free
+}
+
+// rw shows RLock counting as holding the mutex.
+type rw struct {
+	mu   sync.RWMutex
+	view map[string]int // guarded by mu
+}
+
+func (r *rw) read(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.view[k]
+}

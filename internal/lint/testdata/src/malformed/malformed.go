@@ -1,0 +1,12 @@
+// Package malformed holds a broken suppression directive: an ignore
+// with no reason must itself be a finding (from the "provlint"
+// pseudo-analyzer) and must NOT suppress the finding under it.
+package malformed
+
+import "repro/internal/store"
+
+func drop(st *store.Store) {
+	//lintwant+1 provlint
+	//provlint:ignore droppederr
+	_ = st.DeleteRun("x") //lintwant droppederr
+}

@@ -1,0 +1,23 @@
+// Package seededrand is the seededrand analyzer's golden fixture:
+// global-source draws are findings, seeded *rand.Rand draws and the
+// constructor functions are not.
+package seededrand
+
+import "math/rand"
+
+// unseeded draws from the process-global source — irreproducible.
+func unseeded() int {
+	return rand.Intn(10) //lintwant seededrand
+}
+
+// shuffled exercises a second global-source function.
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) //lintwant seededrand
+}
+
+// seeded is the sanctioned path: rand.New and rand.NewSource are
+// allowed, and methods on the resulting *rand.Rand are reproducible.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -127,7 +127,7 @@ func (g *Gauges) snapshot() Stats {
 // still the caller's to serialize per name.
 type Registry struct {
 	mu       sync.RWMutex
-	sessions map[string]*Session
+	sessions map[string]*Session // guarded by mu
 	g        Gauges
 }
 
@@ -602,7 +602,9 @@ func (s *Session) Finish(scheme label.Scheme) (*store.Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	//provlint:ignore droppederr best-effort cleanup after a durable PutRunSession; a stale log is reclaimed lazily by the serving layer's store-wins rule (documented above)
 	_ = s.st.DeleteRunEvents(s.name)
+	//provlint:ignore droppederr best-effort cleanup after a durable PutRunSession; a stale log is reclaimed lazily by the serving layer's store-wins rule (documented above)
 	_ = s.st.Backend().WriteMeta(CheckpointMeta(s.name), nil)
 	return sess, nil
 }

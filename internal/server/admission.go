@@ -42,8 +42,8 @@ type admission struct {
 	burst float64 // bucket capacity
 
 	mu      sync.Mutex
-	buckets map[string]*bucket
-	now     func() time.Time // injectable clock for tests
+	buckets map[string]*bucket // guarded by mu
+	now     func() time.Time   // injectable clock for tests; set once, read-only after
 }
 
 // bucket is one client's token bucket; guarded by admission.mu (client
@@ -184,7 +184,7 @@ func (a *admission) refundToken(client string) {
 
 // sweepLocked drops buckets that have refilled to capacity: a client
 // whose bucket is full has been idle long enough that forgetting it
-// changes nothing.
+// changes nothing. The caller holds a.mu.
 func (a *admission) sweepLocked(now time.Time) {
 	for client, b := range a.buckets {
 		if math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate) >= a.burst {

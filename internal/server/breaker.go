@@ -43,12 +43,12 @@ type breaker struct {
 	logf      func(format string, args ...any)
 
 	mu          sync.Mutex
-	open        bool
-	probing     bool
-	consecutive int
-	openedAt    time.Time
-	opens       int64
-	probes      int64
+	open        bool      // guarded by mu
+	probing     bool      // guarded by mu
+	consecutive int       // guarded by mu
+	openedAt    time.Time // guarded by mu
+	opens       int64     // guarded by mu
+	probes      int64     // guarded by mu
 }
 
 // newBreaker builds a breaker tripping after threshold consecutive

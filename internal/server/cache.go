@@ -17,10 +17,10 @@ type sessionCache struct {
 
 	mu      sync.Mutex
 	max     int
-	entries map[string]*list.Element // run name -> element holding *cacheEntry
-	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // guarded by mu; run name -> element holding *cacheEntry
+	order   *list.List               // guarded by mu; front = most recently used
 
-	// gens fences in-flight loads against invalidation: every Invalidate
+	// gens, guarded by mu, fences in-flight loads against invalidation: every Invalidate
 	// or Put bumps the generation for the name (striped by hash — a
 	// collision only costs a spurious re-load, never staleness), and a
 	// load that started under an older generation must not land in the

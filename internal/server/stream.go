@@ -449,8 +449,15 @@ func (s *Server) clearStreamState(name string) bool {
 			had = true
 		}
 	}
-	_ = s.st.DeleteRunEvents(name)
-	_ = s.st.Backend().WriteMeta(live.CheckpointMeta(name), nil)
+	// Cleanup failures are survivable — the store-wins rule deletes
+	// stale stream state lazily — but a backend refusing deletes is an
+	// operator-visible condition, not one to swallow.
+	if err := s.st.DeleteRunEvents(name); err != nil {
+		s.logf("server: clearing event log for %q: %v", name, err)
+	}
+	if err := s.st.Backend().WriteMeta(live.CheckpointMeta(name), nil); err != nil {
+		s.logf("server: clearing checkpoint for %q: %v", name, err)
+	}
 	return had
 }
 

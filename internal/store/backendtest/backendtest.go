@@ -242,6 +242,7 @@ func Run(t *testing.T, newBackend Factory) {
 					// Document observed: labels must exist right now.
 					skl, err := readErr(b.ReadLabels("v"))
 					if err != nil || string(skl) != "skl-v" {
+						//provlint:ignore errwrap assertion text for the conformance harness, err may be nil on content mismatch; never classified via errors.Is
 						errs <- fmt.Errorf("run visible but labels = %q, %v", skl, err)
 						return
 					}
@@ -573,16 +574,19 @@ func Run(t *testing.T, newBackend Factory) {
 					name := fmt.Sprintf("seed-%d", (g+i)%seeded)
 					got, err := readErr(b.ReadRun(name))
 					if err != nil || string(got) != "doc-"+name {
+						//provlint:ignore errwrap assertion text for the conformance harness, err may be nil on content mismatch; never classified via errors.Is
 						fail(fmt.Errorf("ReadRun(%s) = %q, %v", name, got, err))
 						return
 					}
 					names, err := b.ListRuns()
 					if err != nil || len(names) < seeded {
+						//provlint:ignore errwrap assertion text for the conformance harness, err may be nil on content mismatch; never classified via errors.Is
 						fail(fmt.Errorf("ListRuns = %d names, %v", len(names), err))
 						return
 					}
 					for _, n := range names {
 						if skl, err := readErr(b.ReadLabels(n)); err != nil || string(skl) != "skl-"+n {
+							//provlint:ignore errwrap assertion text for the conformance harness, err may be nil on content mismatch; never classified via errors.Is
 							fail(fmt.Errorf("listed run %q has labels %q, %v", n, skl, err))
 							return
 						}
@@ -779,6 +783,7 @@ func DeleteRunConformance(t *testing.T, newBackend Factory) {
 						}
 					}
 					if err != nil || string(skl) != "skl-v" {
+						//provlint:ignore errwrap assertion text for the conformance harness, err may be nil on content mismatch; never classified via errors.Is
 						errs <- fmt.Errorf("run still visible but labels = %q, %v", skl, err)
 						return
 					}

@@ -135,10 +135,10 @@ type Backend struct {
 	inner store.Backend
 
 	mu       sync.Mutex
-	plan     Plan
-	rng      *rand.Rand
-	calls    map[Op]int   // calls since the last SetPlan, drives FailFirst
-	injected map[Op]int64 // injected faults per op, survives SetPlan
+	plan     Plan         // guarded by mu
+	rng      *rand.Rand   // guarded by mu; reseeded by SetPlan for reproducible fault sequences
+	calls    map[Op]int   // guarded by mu; calls since the last SetPlan, drives FailFirst
+	injected map[Op]int64 // guarded by mu; injected faults per op, survives SetPlan
 }
 
 // Wrap returns inner behind a fault injector following plan.
@@ -430,7 +430,7 @@ func ParsePlan(opts string) (Plan, error) {
 			return Plan{}, fmt.Errorf("faultinject: unknown option %q", key)
 		}
 		if err != nil {
-			return Plan{}, fmt.Errorf("faultinject: option %s=%q: %v", key, val, err)
+			return Plan{}, fmt.Errorf("faultinject: option %s=%q: %w", key, val, err)
 		}
 	}
 	override := func(ops []Op, rate float64) {

@@ -3,6 +3,7 @@ package store
 import (
 	"io"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -50,12 +51,25 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // apart from latency; the retry and give-up counts are surfaced through
 // Stat() for the serving layer's health endpoint.
 func WithRetry(b Backend, p RetryPolicy) Backend {
-	return &retryBackend{inner: b, pol: p.withDefaults()}
+	return &retryBackend{
+		inner:  b,
+		pol:    p.withDefaults(),
+		jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
 type retryBackend struct {
 	inner Backend
 	pol   RetryPolicy
+
+	// jitter decorrelates this wrapper's backoff ladder from every
+	// other process retrying the same fault. An explicitly seeded
+	// source instead of math/rand's global one keeps the repo's
+	// seeded-randomness invariant (provlint seededrand) uniform; the
+	// wall-clock seed is deliberate — backoff spread wants to differ
+	// across processes, not replay.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand // guarded by jitterMu (rand.Rand is not concurrency-safe)
 
 	retries atomic.Int64 // individual retried calls (attempts beyond the first)
 	giveups atomic.Int64 // operations that exhausted the attempt budget
@@ -73,7 +87,7 @@ func (b *retryBackend) do(op func() error) error {
 			return err
 		}
 		b.retries.Add(1)
-		time.Sleep(backoff(b.pol, attempt))
+		time.Sleep(b.backoff(attempt))
 	}
 }
 
@@ -81,12 +95,15 @@ func (b *retryBackend) do(op func() error) error {
 // (0-based): BaseDelay doubled per attempt, capped at MaxDelay, then
 // scaled by a uniform factor in [0.5, 1.0) so a herd of callers hitting
 // the same fault spreads out instead of retrying in lockstep.
-func backoff(p RetryPolicy, attempt int) time.Duration {
-	d := p.BaseDelay << uint(attempt)
-	if d <= 0 || d > p.MaxDelay {
-		d = p.MaxDelay
+func (b *retryBackend) backoff(attempt int) time.Duration {
+	d := b.pol.BaseDelay << uint(attempt)
+	if d <= 0 || d > b.pol.MaxDelay {
+		d = b.pol.MaxDelay
 	}
-	return time.Duration((0.5 + rand.Float64()/2) * float64(d))
+	b.jitterMu.Lock()
+	f := b.jitter.Float64()
+	b.jitterMu.Unlock()
+	return time.Duration((0.5 + f/2) * float64(d))
 }
 
 func (b *retryBackend) readBlob(open func() (io.ReadCloser, error)) (io.ReadCloser, error) {

@@ -103,19 +103,20 @@ func TestWithRetryAbsorbsTransientStopsOnPermanent(t *testing.T) {
 
 func TestBackoffJitterAndCap(t *testing.T) {
 	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	rb := WithRetry(nil, p).(*retryBackend)
 	for attempt := 0; attempt < 20; attempt++ {
-		d := backoff(p, attempt)
+		d := rb.backoff(attempt)
 		if d < 0 || d > p.MaxDelay {
 			t.Fatalf("backoff(attempt=%d) = %v outside [0, %v]", attempt, d, p.MaxDelay)
 		}
 	}
 	// Early attempts stay near the exponential ladder: attempt 1 doubles
 	// the base, jittered down to at least half.
-	if d := backoff(p, 1); d < 10*time.Millisecond || d > 20*time.Millisecond {
+	if d := rb.backoff(1); d < 10*time.Millisecond || d > 20*time.Millisecond {
 		t.Fatalf("backoff(attempt=1) = %v, want in [10ms, 20ms]", d)
 	}
 	// Overflow-deep attempts clamp to the cap instead of going negative.
-	if d := backoff(p, 62); d < p.MaxDelay/2 || d > p.MaxDelay {
+	if d := rb.backoff(62); d < p.MaxDelay/2 || d > p.MaxDelay {
 		t.Fatalf("backoff(attempt=62) = %v, want in [%v, %v]", d, p.MaxDelay/2, p.MaxDelay)
 	}
 }

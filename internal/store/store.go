@@ -65,7 +65,7 @@ type Store struct {
 	// once per scheme instead of once per call. Labelings are safe for
 	// concurrent readers, so cached entries are shared across sessions.
 	mu    sync.Mutex
-	skels map[string]label.Labeling
+	skels map[string]label.Labeling // guarded by mu
 }
 
 // New initializes a store over the backend for the specification,

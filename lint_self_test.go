@@ -1,0 +1,39 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestLintRepoClean runs every provlint analyzer over the real module
+// and fails on any unsuppressed finding. This is the tier-1 teeth
+// behind the invariants in internal/lint/doc.go: a regression that
+// flattens a store error with %v, draws from the global rand source,
+// drops a Backend error, touches a guarded field unlocked, or adds a
+// route without a counter fails `go test ./...`, not just `make lint`.
+func TestLintRepoClean(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the loader is missing most of the module", len(pkgs))
+	}
+	diags := lint.Run(pkgs, lint.All(), ".")
+	var failures []string
+	for _, d := range lint.Unsuppressed(diags) {
+		failures = append(failures, fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Analyzer, d.Message))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			t.Error(f)
+		}
+		t.Fatalf("provlint found %d unsuppressed findings; fix them or add //provlint:ignore <analyzer> <reason>", len(failures))
+	}
+}
